@@ -1,0 +1,88 @@
+"""E4 — Figure 3: the DSO → Session → Command → Rowset pipeline.
+
+Figure 3 diagrams OLE DB's object hierarchy.  We measure the cost of
+each step (CoCreateInstance+Initialize / CreateSession / CreateCommand+
+Execute / rowset consumption) and the throughput of rowset streaming
+through a channel — the path every remote row in this system takes.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import NetworkChannel, ServerInstance
+from repro.providers.sqlserver import SqlServerDataSource
+
+
+@pytest.fixture(scope="module")
+def backend():
+    server = ServerInstance("be")
+    server.execute("CREATE TABLE t (id int, payload varchar(50))")
+    table = server.catalog.database().table("t")
+    for i in range(5000):
+        table.insert((i, f"payload-{i:036d}"))
+    return server
+
+
+def test_bench_initialize(benchmark, backend):
+    def connect():
+        ds = SqlServerDataSource(backend)
+        ds.initialize()
+        return ds
+
+    ds = benchmark(connect)
+    assert ds.initialized
+
+
+def test_bench_create_session(benchmark, backend):
+    ds = SqlServerDataSource(backend)
+    ds.initialize()
+    session = benchmark(ds.create_session)
+    assert session is not None
+
+
+def test_bench_command_execute(benchmark, backend):
+    ds = SqlServerDataSource(backend)
+    ds.initialize()
+    session = ds.create_session()
+
+    def run():
+        command = session.create_command()
+        command.set_text("SELECT id FROM t WHERE id < 100")
+        return command.execute().fetch_all()
+
+    rows = benchmark(run)
+    assert len(rows) == 100
+
+
+def test_bench_open_rowset_streaming(benchmark, backend):
+    """IOpenRowset + full drain of 5000 rows through a channel."""
+    channel = NetworkChannel("bench", latency_ms=0.1, mb_per_second=100)
+    ds = SqlServerDataSource(backend, channel=channel)
+    ds.initialize()
+    session = ds.create_session()
+
+    def drain():
+        return sum(1 for __ in session.open_rowset("t"))
+
+    count = benchmark(drain)
+    assert count == 5000
+
+
+def test_rowset_throughput_summary(benchmark, backend):
+    channel = NetworkChannel("bench", latency_ms=0.1, mb_per_second=100)
+    ds = SqlServerDataSource(backend, channel=channel)
+    ds.initialize()
+    session = ds.create_session()
+
+    def measure():
+        channel.stats.reset()
+        rows = sum(1 for __ in session.open_rowset("t"))
+        return rows, channel.stats.bytes_received, channel.stats.round_trips
+
+    rows, nbytes, trips = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Figure 3: rowset streaming through the object hierarchy",
+        ["rows", "bytes", "round trips", "bytes/row"],
+        [(rows, nbytes, trips, f"{nbytes / rows:.1f}")],
+    )
+    assert trips == pytest.approx(rows / 128, abs=1)

@@ -1,0 +1,115 @@
+"""E8 — Section 2.4: the heterogeneous SQL-to-email query.
+
+Measures the salesman query (MakeTable over a mail file joined to an
+Access-like Customers table with a NOT EXISTS anti-join) against
+mailbox size, validating answers against a plain-Python model.
+"""
+
+import datetime as dt
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import Engine
+from repro.providers import EmailDataSource, IsamDataSource
+from repro.storage.catalog import Database
+from repro.types import Column, Schema, varchar
+from repro.workloads import generate_mailbox
+
+TODAY = dt.datetime(2004, 6, 15, 9, 0)
+
+SQL = r"""
+    SELECT m1.MsgId, c.Address
+    FROM MakeTable(Mail, d:\mail\smith.mmf) m1,
+         MakeTable(Access, Customers) c
+    WHERE m1.Date >= date(today(), -2)
+      AND m1.From = c.Emailaddr
+      AND c.City = 'Seattle'
+      AND NOT EXISTS (SELECT * FROM MakeTable(Mail, d:\mail\smith.mmf) m2
+                      WHERE m1.MsgId = m2.InReplyTo)
+"""
+
+
+def _build(message_count: int):
+    engine = Engine("local")
+    mailbox = generate_mailbox(
+        message_count=message_count, today=TODAY, seed=31
+    )
+    engine.register_maketable_provider("Mail", EmailDataSource([mailbox]))
+    database = Database("Enterprise")
+    customers = database.create_table(
+        "Customers",
+        Schema(
+            [
+                Column("Emailaddr", varchar(60)),
+                Column("City", varchar(30)),
+                Column("Address", varchar(60)),
+            ]
+        ),
+    )
+    for index, sender in enumerate(
+        sorted({m.sender for m in mailbox.messages})
+    ):
+        customers.insert(
+            (sender, "Seattle" if index % 2 == 0 else "Portland",
+             f"{index} Main St")
+        )
+    engine.register_maketable_provider("Access", IsamDataSource(database))
+    return engine, mailbox, customers
+
+
+def _model_answer(mailbox, customers):
+    cutoff = dt.date(2004, 6, 13)
+    cities = {row[0]: (row[1], row[2]) for row in customers.rows()}
+    answered = {m.in_reply_to for m in mailbox.messages if m.in_reply_to}
+    out = set()
+    for message in mailbox.messages:
+        if message.date.date() < cutoff:
+            continue
+        entry = cities.get(message.sender)
+        if entry is None or entry[0] != "Seattle":
+            continue
+        if message.msg_id in answered:
+            continue
+        out.add((message.msg_id, entry[1]))
+    return out
+
+
+@pytest.fixture(scope="module")
+def world():
+    return _build(150)
+
+
+def test_answers_match_model(benchmark, world):
+    engine, mailbox, customers = world
+    rows = benchmark.pedantic(
+        lambda: engine.execute(SQL).rows, rounds=1, iterations=1
+    )
+    assert set(rows) == _model_answer(mailbox, customers)
+
+
+def test_bench_email_query(benchmark, world):
+    engine, __, __c = world
+    rows = benchmark(lambda: engine.execute(SQL).rows)
+    assert rows is not None
+
+
+def test_scaling_with_mailbox_size(benchmark):
+    import time
+
+    table = []
+    for count in (50, 200, 800):
+        engine, mailbox, customers = _build(count)
+        engine.execute(SQL)  # warm
+        started = time.perf_counter()
+        rows = engine.execute(SQL).rows
+        elapsed = time.perf_counter() - started
+        assert set(rows) == _model_answer(mailbox, customers)
+        table.append((count, len(mailbox), len(rows),
+                      f"{elapsed * 1000:.1f}ms"))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Section 2.4: salesman query vs mailbox size",
+        ["requested msgs", "total msgs", "hits", "latency"],
+        table,
+    )

@@ -1,0 +1,103 @@
+"""E9 — Section 4.1.1: phased optimization.
+
+"Early phases have a restricted set of rules enabled to attempt to find
+a good plan quickly.  If the cost of the best solution found after a
+phase is acceptable, the solution is returned. ... the optimizer will
+not spend too much time on optimizing easy queries, while for complex
+queries it will spend longer time."
+
+We measure: (1) cheap point queries exit in the transaction-processing
+phase; (2) search effort (rules fired / memo size / time) grows with
+join count; (3) capping max_phase trades plan quality for compile time.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import Engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    e = Engine("local")
+    for name in "abcdef":
+        e.execute(
+            f"CREATE TABLE {name} (k int PRIMARY KEY, v{name} int)"
+        )
+        table = e.catalog.database().table(name)
+        for i in range(800):
+            table.insert((i, i % 50))
+    return e
+
+
+def _chain_query(tables: str) -> str:
+    names = list(tables)
+    froms = ", ".join(names)
+    conds = " AND ".join(
+        f"{l}.k = {r}.k" for l, r in zip(names, names[1:])
+    )
+    where = f" WHERE {conds}" if conds else ""
+    return f"SELECT {names[0]}.v{names[0]} FROM {froms}{where}"
+
+
+def test_point_query_exits_in_tp_phase(benchmark, engine):
+    result = benchmark.pedantic(
+        engine.plan, args=("SELECT va FROM a WHERE k = 7",),
+        rounds=1, iterations=1,
+    )
+    assert result.final_phase == 0
+
+
+def test_effort_grows_with_join_count(benchmark, engine):
+    rows = []
+    for n in range(1, 7):
+        result = engine.plan(_chain_query("abcdef"[:n]))
+        total_rules = sum(ps.rules_fired for ps in result.phase_stats)
+        rows.append(
+            (
+                n,
+                result.final_phase,
+                total_rules,
+                result.memo.group_count,
+                result.memo.expression_count,
+                f"{result.elapsed_seconds * 1000:.1f}ms",
+            )
+        )
+    benchmark.pedantic(
+        engine.plan, args=(_chain_query("abcdef"),), rounds=1, iterations=1
+    )
+    print_table(
+        "Section 4.1.1: search effort vs join count",
+        ["tables", "final phase", "rules fired", "groups", "exprs", "time"],
+        rows,
+    )
+    assert rows[0][1] <= rows[-1][1]
+    assert rows[-1][2] > rows[1][2]
+    assert rows[-1][4] > rows[1][4]
+
+
+def test_phase_cap_trades_quality_for_time(benchmark, engine):
+    sql = _chain_query("abcde")
+    full = engine.plan(sql)
+    engine.optimizer.options.max_phase = 0
+    try:
+        capped = engine.plan(sql)
+    finally:
+        engine.optimizer.options.max_phase = 2
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Section 4.1.1: max_phase ablation",
+        ["setting", "plan cost", "compile time"],
+        [
+            ("full optimization", f"{full.cost:.3f}",
+             f"{full.elapsed_seconds * 1000:.1f}ms"),
+            ("TP phase only", f"{capped.cost:.3f}",
+             f"{capped.elapsed_seconds * 1000:.1f}ms"),
+        ],
+    )
+    assert full.cost <= capped.cost
+
+
+def test_bench_optimize_5way_join(benchmark, engine):
+    result = benchmark(engine.plan, _chain_query("abcde"))
+    assert result.plan is not None

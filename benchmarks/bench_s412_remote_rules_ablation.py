@@ -1,0 +1,113 @@
+"""E10 — Section 4.1.2: the remote rules, ablated.
+
+The paper's remote exploration rules (locality grouping, predicate
+split, parameterization) and implementation rules (build remote query,
+remote spool) exist to minimize network traffic.  We disable each rule
+family in turn and measure actual bytes over the wire on the same
+query mix — every ablation must move at least as many bytes as the
+full optimizer, and the headline ones substantially more.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_fig4_world, print_table
+from repro import OptimizerOptions
+
+QUERIES = [
+    # pushdown-friendly point lookup
+    ("point", "SELECT c.c_name FROM remote0.tpch10g.dbo.customer c "
+              "WHERE c.c_custkey = 77"),
+    # selective predicate on a remote table
+    ("filter", "SELECT c.c_name FROM remote0.tpch10g.dbo.customer c "
+               "WHERE c.c_acctbal > 9000"),
+    # the Example 1 join
+    ("example1", "SELECT c.c_name FROM remote0.tpch10g.dbo.customer c, "
+                 "remote0.tpch10g.dbo.supplier s, nation n "
+                 "WHERE c.c_nationkey = n.n_nationkey "
+                 "AND n.n_nationkey = s.s_nationkey "
+                 "AND n.n_name = 'JAPAN'"),
+]
+
+ABLATIONS = [
+    ("full optimizer", {}),
+    ("no remote query", {"enable_remote_query": False}),
+    ("no parameterization", {"enable_parameterization": False}),
+    ("no locality grouping", {"enable_locality_grouping": False}),
+    ("no predicate split", {"enable_predicate_split": False}),
+    ("no spool", {"enable_spool": False}),
+    ("scan-only (all off)", {
+        "enable_remote_query": False,
+        "enable_parameterization": False,
+        "enable_locality_grouping": False,
+        "enable_predicate_split": False,
+        "enable_spool": False,
+    }),
+]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_fig4_world(customers=800, suppliers=80)
+
+
+def _run_mix(local, channel):
+    channel.stats.reset()
+    answers = []
+    for __, sql in QUERIES:
+        answers.append(sorted(local.execute(sql).rows))
+    return answers, channel.stats.total_bytes
+
+
+def test_ablation_bytes(benchmark, world):
+    local, __, channel = world
+    table = []
+    baseline_answers = None
+    baseline_bytes = None
+    for label, flags in ABLATIONS:
+        options = OptimizerOptions()
+        for key, value in flags.items():
+            setattr(options, key, value)
+        local.optimizer.options = options
+        answers, nbytes = _run_mix(local, channel)
+        if baseline_answers is None:
+            baseline_answers, baseline_bytes = answers, nbytes
+        else:
+            assert answers == baseline_answers, f"{label} changed results"
+        table.append(
+            (label, nbytes, f"{nbytes / max(1, baseline_bytes):.2f}x")
+        )
+    local.optimizer.options = OptimizerOptions()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Section 4.1.2: bytes moved per rule-family ablation "
+        "(3-query mix; lower is better)",
+        ["configuration", "bytes", "vs full"],
+        table,
+    )
+    by_label = dict((row[0], row[1]) for row in table)
+    assert by_label["full optimizer"] <= by_label["scan-only (all off)"]
+    assert by_label["scan-only (all off)"] > 2 * by_label["full optimizer"]
+
+
+def test_bench_full_optimizer_mix(benchmark, world):
+    local, __, channel = world
+    local.optimizer.options = OptimizerOptions()
+    answers = benchmark(lambda: _run_mix(local, channel)[0])
+    assert answers
+
+
+def test_bench_scan_only_mix(benchmark, world):
+    local, __, channel = world
+    options = OptimizerOptions(
+        enable_remote_query=False,
+        enable_parameterization=False,
+        enable_locality_grouping=False,
+        enable_predicate_split=False,
+        enable_spool=False,
+    )
+    local.optimizer.options = options
+    try:
+        answers = benchmark(lambda: _run_mix(local, channel)[0])
+    finally:
+        local.optimizer.options = OptimizerOptions()
+    assert answers

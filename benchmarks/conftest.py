@@ -1,0 +1,62 @@
+"""Shared builders for the experiment suite.
+
+Each ``bench_*.py`` module reproduces one paper artifact (table/figure/
+worked example); see DESIGN.md's experiment index.  Benchmarks both
+*time* the relevant operation (pytest-benchmark) and *assert the shape*
+the paper reports (who wins, by roughly what factor), printing the
+rows/series for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine, NetworkChannel, ServerInstance
+from repro.workloads import load_tpch
+from repro.workloads.tpch import TPCH_DDL
+
+
+def build_fig4_world(
+    customers: int = 1000,
+    suppliers: int = 100,
+    latency_ms: float = 2.0,
+    mb_per_second: float = 10.0,
+):
+    """The Example 1 setup: customer+supplier remote, nation local."""
+    local = Engine("local")
+    remote = ServerInstance("remote0")
+    remote.catalog.create_database("tpch10g")
+    data = load_tpch(remote, customers=customers, suppliers=suppliers,
+                     tables=[])
+    for table_name in ("customer", "supplier"):
+        remote.execute(
+            TPCH_DDL[table_name].replace(
+                f"CREATE TABLE {table_name}",
+                f"CREATE TABLE tpch10g.dbo.{table_name}",
+            )
+        )
+        table = remote.catalog.database("tpch10g").table(table_name)
+        for row in data.table_rows()[table_name]:
+            table.insert(row)
+    load_tpch(local, data=data, tables=["nation", "region"])
+    channel = NetworkChannel(
+        "wan", latency_ms=latency_ms, mb_per_second=mb_per_second
+    )
+    local.add_linked_server("remote0", remote, channel)
+    return local, remote, channel
+
+
+def print_table(title: str, header: list[str], rows: list[tuple]) -> None:
+    """Print one experiment's result table (captured into bench output)."""
+    print(f"\n## {title}")
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(
+            "  " + " | ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )

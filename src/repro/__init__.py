@@ -1,0 +1,47 @@
+"""repro: a reproduction of "Distributed/Heterogeneous Query Processing
+in Microsoft SQL Server" (Blakeley et al., ICDE 2005).
+
+Public API highlights:
+
+* :class:`~repro.engine.Engine` (= :class:`~repro.engine.ServerInstance`)
+  — a complete mini SQL Server with a built-in distributed/heterogeneous
+  query processor (DHQP).
+* :class:`~repro.network.channel.NetworkChannel` — the simulated links
+  remote rowsets stream over; experiments read its byte accounting.
+* The provider zoo in :mod:`repro.providers` — SQL, simple (text),
+  ISAM (Access-like), Excel-like, email, full-text, pass-through.
+* :mod:`repro.federation` — distributed partitioned views.
+* :mod:`repro.workloads` — TPC-H-lite / TPC-C-lite / mail / document
+  generators used by the benchmark suite.
+
+Quickstart::
+
+    from repro import Engine, NetworkChannel, ServerInstance
+
+    local = Engine("local")
+    remote = ServerInstance("remote0")
+    remote.execute("CREATE TABLE customer (id int PRIMARY KEY, name varchar(40))")
+    remote.execute("INSERT INTO customer VALUES (1, 'Ada'), (2, 'Grace')")
+    local.add_linked_server("remote0", remote, NetworkChannel("wan", latency_ms=2))
+    result = local.execute("SELECT name FROM remote0.master.dbo.customer c WHERE c.id = 2")
+    print(result.rows)  # [('Grace',)]
+"""
+
+from repro.engine import Engine, QueryResult, ServerInstance
+from repro.network.channel import NetworkChannel
+from repro.core.optimizer import OptimizerOptions
+from repro.core.cost import CostModel
+from repro.fulltext.service import FullTextService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "ServerInstance",
+    "QueryResult",
+    "NetworkChannel",
+    "OptimizerOptions",
+    "CostModel",
+    "FullTextService",
+    "__version__",
+]

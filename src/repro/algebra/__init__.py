@@ -1,0 +1,87 @@
+"""Relational algebra IR.
+
+"At the beginning of optimization, both local and distributed queries
+are algebrized in the same way, i.e., the same logical operator is used
+no matter the data source is local or remote, except that the remote
+data sources are tagged with a flag indicating their level of
+remotability" (Section 4.1.3).  This package holds that shared IR:
+
+* :mod:`expressions` — scalar expressions over *column identities*
+  (stable integer ids assigned at bind time, independent of operator
+  layout, so exploration rules can reorder operators freely);
+* :mod:`logical` — logical operators (Get, Select, Project, Join,
+  Aggregate, Sort, UnionAll, Top, Values), each a unique node in the
+  query tree as Cascades requires.
+"""
+
+from repro.algebra.expressions import (
+    ColumnId,
+    ColumnDef,
+    ScalarExpr,
+    Literal,
+    ColumnRef,
+    Parameter,
+    BinaryOp,
+    NotOp,
+    IsNullOp,
+    InListOp,
+    LikeOp,
+    FuncCall,
+    AggregateCall,
+    ContainsPredicate,
+    ScalarSubquery,
+    conjuncts,
+    conjoin,
+)
+from repro.algebra.logical import (
+    LogicalOp,
+    TableRef,
+    Get,
+    Select,
+    Project,
+    Join,
+    JoinKind,
+    Aggregate,
+    Sort,
+    SortKeySpec,
+    UnionAll,
+    Top,
+    Values,
+    EmptyTable,
+    ProviderRowset,
+)
+
+__all__ = [
+    "ColumnId",
+    "ColumnDef",
+    "ScalarExpr",
+    "Literal",
+    "ColumnRef",
+    "Parameter",
+    "BinaryOp",
+    "NotOp",
+    "IsNullOp",
+    "InListOp",
+    "LikeOp",
+    "FuncCall",
+    "AggregateCall",
+    "ContainsPredicate",
+    "ScalarSubquery",
+    "conjuncts",
+    "conjoin",
+    "LogicalOp",
+    "TableRef",
+    "Get",
+    "Select",
+    "Project",
+    "Join",
+    "JoinKind",
+    "Aggregate",
+    "Sort",
+    "SortKeySpec",
+    "UnionAll",
+    "Top",
+    "Values",
+    "EmptyTable",
+    "ProviderRowset",
+]

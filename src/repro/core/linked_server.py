@@ -1,0 +1,314 @@
+"""Linked servers (Section 2.1).
+
+"Linked server names associate a server name with an OLE DB data
+source."  A :class:`LinkedServer` owns an initialized
+:class:`~repro.oledb.datasource.DataSource` and performs all metadata
+discovery *through the OLE DB interfaces* — schema rowsets for columns,
+indexes, cardinality and check constraints, histogram rowsets for
+statistics — exactly the contract the paper describes.  Discovered
+metadata is cached per schema version; delayed schema validation
+(Section 4.1.5) re-checks the version at execution time.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.errors import CatalogError, NotSupportedError, ProviderError, SchemaValidationError
+from repro.oledb.datasource import DataSource
+from repro.oledb.interfaces import IDB_SCHEMA_ROWSET
+from repro.oledb.properties import ProviderCapabilities
+from repro.oledb.schema_rowsets import histogram_from_rowset
+from repro.oledb.session import Session
+from repro.stats.table_stats import ColumnStatistics, TableStatistics
+from repro.storage.btree import IndexMetadata
+from repro.types.datatypes import (
+    BIGINT,
+    BOOL,
+    DATE,
+    DATETIME,
+    FLOAT,
+    INT,
+    SqlType,
+    varchar,
+)
+from repro.types.intervals import IntervalSet
+from repro.types.schema import Column, Schema
+
+_TYPE_PATTERN = re.compile(r"([A-Za-z]+)(?:\((\d+)\))?")
+
+_TYPE_BY_NAME: Dict[str, SqlType] = {
+    "INT": INT,
+    "INTEGER": INT,
+    "BIGINT": BIGINT,
+    "FLOAT": FLOAT,
+    "REAL": FLOAT,
+    "DOUBLE": FLOAT,
+    "BIT": BOOL,
+    "BOOL": BOOL,
+    "DATE": DATE,
+    "DATETIME": DATETIME,
+    "TIMESTAMP": DATETIME,
+}
+
+
+def type_from_name(name: str) -> SqlType:
+    """Parse a type name ('INT', 'VARCHAR(50)') back into a SqlType."""
+    match = _TYPE_PATTERN.match(name.strip())
+    if match is None:
+        raise CatalogError(f"unparseable type name {name!r}")
+    family = match.group(1).upper()
+    argument = match.group(2)
+    if family in ("VARCHAR", "NVARCHAR", "CHAR", "TEXT", "STRING"):
+        return varchar(int(argument) if argument else None)
+    if family in _TYPE_BY_NAME:
+        return _TYPE_BY_NAME[family]
+    raise CatalogError(f"unknown type name {name!r}")
+
+
+class RemoteTableInfo:
+    """Everything the optimizer knows about one remote table."""
+
+    __slots__ = (
+        "table_name",
+        "schema",
+        "cardinality",
+        "avg_row_width",
+        "schema_version",
+        "indexes",
+        "check_domains",
+        "_column_stats",
+    )
+
+    def __init__(
+        self,
+        table_name: str,
+        schema: Schema,
+        cardinality: float,
+        avg_row_width: float,
+        schema_version: int,
+        indexes: list[IndexMetadata],
+        check_domains: Dict[str, IntervalSet],
+    ):
+        self.table_name = table_name
+        self.schema = schema
+        self.cardinality = cardinality
+        self.avg_row_width = avg_row_width
+        self.schema_version = schema_version
+        self.indexes = indexes
+        self.check_domains = check_domains
+        self._column_stats: Dict[str, Optional[ColumnStatistics]] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteTableInfo({self.table_name}, rows={self.cardinality:.0f}, "
+            f"v{self.schema_version})"
+        )
+
+
+class LinkedServer:
+    """A named OLE DB data source registered with the engine."""
+
+    def __init__(self, name: str, datasource: DataSource):
+        self.name = name
+        self.datasource = datasource
+        if not datasource.initialized:
+            datasource.initialize()
+        self._session: Optional[Session] = None
+        self._table_cache: Dict[str, RemoteTableInfo] = {}
+
+    # -- plumbing ---------------------------------------------------------
+    @property
+    def capabilities(self) -> ProviderCapabilities:
+        return self.datasource.capabilities
+
+    @property
+    def channel(self):
+        return self.datasource.channel
+
+    @property
+    def session(self) -> Session:
+        if self._session is None:
+            self._session = self.datasource.create_session()
+        return self._session
+
+    def create_session(self) -> Session:
+        """A fresh session (DML wants its own transactional scope)."""
+        return self.datasource.create_session()
+
+    # -- metadata discovery through OLE DB ------------------------------------
+    def table_info(
+        self,
+        table_name: str,
+        database: Optional[str] = None,
+        refresh: bool = False,
+    ) -> RemoteTableInfo:
+        """Discover (and cache) schema/statistics for a remote table."""
+        key = (database.lower() if database else None, table_name.lower())
+        if not refresh and key in self._table_cache:
+            return self._table_cache[key]
+        if not self.datasource.supports_interface(IDB_SCHEMA_ROWSET):
+            info = self._probe_without_schema_rowsets(table_name)
+        else:
+            info = self._read_schema_rowsets(table_name, database)
+        self._table_cache[key] = info
+        return info
+
+    def _read_schema_rowsets(
+        self, table_name: str, database: Optional[str] = None
+    ) -> RemoteTableInfo:
+        session = self.session
+        target = table_name.lower()
+        columns = []
+        for (tname, cname, __, type_name, nullable) in self._rowset(
+            session, "COLUMNS", database
+        ):
+            if tname.lower() == target:
+                columns.append(Column(cname, type_from_name(type_name), nullable))
+        if not columns:
+            raise CatalogError(
+                f"table {table_name!r} not found on linked server {self.name}"
+            )
+        cardinality = 0.0
+        avg_width = 64.0
+        version = 1
+        for (tname, rows, width, schema_version) in self._rowset(
+            session, "TABLES_INFO", database
+        ):
+            if tname.lower() == target:
+                cardinality = float(rows)
+                avg_width = float(width)
+                version = int(schema_version)
+                break
+        indexes: Dict[str, list[tuple[int, str, bool]]] = {}
+        for (tname, index_name, unique, ordinal, column_name) in self._rowset(
+            session, "INDEXES", database
+        ):
+            if tname.lower() == target:
+                indexes.setdefault(index_name, []).append(
+                    (ordinal, column_name, unique)
+                )
+        index_list = []
+        for index_name, entries in indexes.items():
+            entries.sort()
+            index_list.append(
+                IndexMetadata(
+                    index_name,
+                    table_name,
+                    [column_name for __, column_name, __u in entries],
+                    unique=entries[0][2],
+                )
+            )
+        check_domains: Dict[str, IntervalSet] = {}
+        try:
+            for (tname, __, column_name, domain, __text) in self._rowset(
+                session, "CHECK_CONSTRAINTS", database
+            ):
+                if tname.lower() == target and column_name and domain is not None:
+                    existing = check_domains.get(column_name.lower())
+                    check_domains[column_name.lower()] = (
+                        domain if existing is None else existing.intersect(domain)
+                    )
+        except (ProviderError, NotSupportedError):
+            pass
+        return RemoteTableInfo(
+            table_name,
+            Schema(columns),
+            cardinality,
+            avg_width,
+            version,
+            index_list,
+            check_domains,
+        )
+
+    @staticmethod
+    def _rowset(session: Session, which: str, database: Optional[str]):
+        """schema_rowset with database targeting when supported."""
+        try:
+            return session.schema_rowset(which, database_name=database)
+        except TypeError:
+            return session.schema_rowset(which)
+
+    def _probe_without_schema_rowsets(self, table_name: str) -> RemoteTableInfo:
+        """Simple providers: open the rowset and take its schema; no
+        statistics, no indexes (the DHQP must do everything itself)."""
+        rowset = self.session.open_rowset(table_name)
+        rows = rowset.fetch_all()
+        return RemoteTableInfo(
+            table_name,
+            rowset.schema,
+            float(len(rows)),
+            rowset.schema.row_width(),
+            1,
+            [],
+            {},
+        )
+
+    def column_statistics(
+        self,
+        table_name: str,
+        column_name: str,
+        database: Optional[str] = None,
+    ) -> Optional[ColumnStatistics]:
+        """Histogram-backed statistics via the Section 3.2.4 extension;
+        None when the provider does not expose them."""
+        info = self.table_info(table_name, database)
+        key = column_name.lower()
+        if key in info._column_stats:
+            return info._column_stats[key]
+        stats: Optional[ColumnStatistics] = None
+        if self.capabilities.supports_statistics:
+            try:
+                rowset = self.session.open_histogram_rowset(
+                    table_name, column_name, database_name=database
+                )
+                histogram = histogram_from_rowset(rowset)
+                stats = ColumnStatistics(
+                    column_name,
+                    histogram,
+                    histogram.distinct_count,
+                    histogram.null_rows,
+                )
+            except (ProviderError, NotSupportedError):
+                stats = None
+        info._column_stats[key] = stats
+        return stats
+
+    def table_statistics(
+        self, table_name: str, database: Optional[str] = None
+    ) -> TableStatistics:
+        info = self.table_info(table_name, database)
+        return TableStatistics(info.cardinality, {}, info.avg_row_width)
+
+    # -- delayed schema validation (Section 4.1.5) ----------------------------
+    def validate_schema_version(
+        self, table_name: str, database: Optional[str] = None
+    ) -> None:
+        """Re-read the remote schema version; raises when the cached
+        plan was compiled against a stale schema."""
+        key = (database.lower() if database else None, table_name.lower())
+        cached = self._table_cache.get(key)
+        if cached is None:
+            return
+        fresh = self.table_info(table_name, database, refresh=True)
+        if fresh.schema_version != cached.schema_version:
+            raise SchemaValidationError(
+                f"schema of {self.name}.{table_name} changed "
+                f"(v{cached.schema_version} -> v{fresh.schema_version}); "
+                "recompile the statement"
+            )
+        # keep the fresh copy cached
+        self._table_cache[key] = fresh
+
+    def invalidate_metadata(
+        self, table_name: Optional[str] = None, database: Optional[str] = None
+    ) -> None:
+        if table_name is None:
+            self._table_cache.clear()
+        else:
+            key = (database.lower() if database else None, table_name.lower())
+            self._table_cache.pop(key, None)
+
+    def __repr__(self) -> str:
+        return f"LinkedServer({self.name} -> {self.datasource.provider_name})"

@@ -1,0 +1,31 @@
+"""Optimizer rules.
+
+"Rules are ... subdivided into different categories based on their
+function": :mod:`normalization` holds the Simplification Rules
+(heuristic tree rewrites, run early), :mod:`exploration` the
+Exploration Rules (equivalent logical alternatives, local *and* remote
+per Section 4.1.2), and :mod:`implementation` the Implementation Rules
+(physical alternatives, local and remote).  Enforcers (sort, remote
+spool) live in the optimizer's property machinery.
+"""
+
+from repro.core.rules.base import ExplorationRule, RuleContext
+from repro.core.rules.normalization import normalize
+from repro.core.rules.exploration import (
+    JoinCommute,
+    JoinAssociate,
+    LocalityGrouping,
+    PredicateSplitByRemotability,
+    default_exploration_rules,
+)
+
+__all__ = [
+    "ExplorationRule",
+    "RuleContext",
+    "normalize",
+    "JoinCommute",
+    "JoinAssociate",
+    "LocalityGrouping",
+    "PredicateSplitByRemotability",
+    "default_exploration_rules",
+]

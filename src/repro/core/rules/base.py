@@ -1,0 +1,66 @@
+"""Rule framework plumbing.
+
+Every rule carries a *promise* ("a Promise routine exists on each rule
+to define how valuable this particular rule could be") and declares the
+operator types it can match — the per-operator *guidance* lists are
+built from these declarations ("each operator contains a routine called
+Guidance that enumerates rules that could match it").  Rules also name
+the earliest optimization phase that enables them (Section 4.1.1's
+restricted early phases).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.core.memo import GroupExpression, Memo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer import Optimizer
+
+
+class RuleContext:
+    """What a firing rule may touch."""
+
+    def __init__(self, memo: Memo, optimizer: "Optimizer"):
+        self.memo = memo
+        self.optimizer = optimizer
+
+    @property
+    def options(self):
+        return self.optimizer.options
+
+
+class ExplorationRule:
+    """Generates equivalent logical alternatives within a group."""
+
+    #: rule identifier (also the re-application guard key)
+    name: str = "exploration"
+    #: operator class names this rule can match (guidance)
+    op_types: tuple[str, ...] = ()
+    #: how valuable the rule is; higher fires first
+    promise: float = 1.0
+    #: earliest phase (0 = transaction processing, 1 = quick plan,
+    #: 2 = full optimization)
+    min_phase: int = 0
+
+    def matches(self, expr: GroupExpression) -> bool:
+        return True
+
+    def apply(self, expr: GroupExpression, context: RuleContext) -> int:
+        """Fire on ``expr``; insert alternatives into ``expr.group``.
+        Returns the number of new expressions inserted."""
+        raise NotImplementedError
+
+
+def guidance_index(
+    rules: Iterable[ExplorationRule],
+) -> dict[str, list[ExplorationRule]]:
+    """Build the per-operator guidance lists, promise-ordered."""
+    index: dict[str, list[ExplorationRule]] = {}
+    for rule in rules:
+        for op_type in rule.op_types:
+            index.setdefault(op_type, []).append(rule)
+    for bucket in index.values():
+        bucket.sort(key=lambda r: -r.promise)
+    return index

@@ -1,0 +1,11 @@
+"""Distributed transaction coordinator (MS DTC simulation).
+
+"SQL Server uses the Microsoft Distributed Transaction Coordinator to
+ensure atomicity of transactions across data sources" (Section 2).
+This package implements classic presumed-abort two-phase commit over
+the :class:`~repro.storage.transactions.ResourceManager` protocol.
+"""
+
+from repro.dtc.coordinator import DistributedTransaction, TransactionCoordinator
+
+__all__ = ["DistributedTransaction", "TransactionCoordinator"]

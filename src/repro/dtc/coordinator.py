@@ -1,0 +1,126 @@
+"""Two-phase commit coordinator.
+
+Presumed-abort 2PC: the coordinator collects votes from every enlisted
+resource manager; any "no" vote (or exception) aborts all branches.
+Distributed DML through partitioned views (Section 4.1.5) enlists one
+branch per member server.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.storage.transactions import ResourceManager
+
+
+class DistributedTransaction:
+    """One distributed transaction spanning multiple resource managers."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+        self.state = self.ACTIVE
+        self._branches: list[tuple[str, ResourceManager]] = []
+
+    def enlist(self, name: str, branch: ResourceManager) -> None:
+        """Add a resource manager branch (one per participating server)."""
+        if self.state != self.ACTIVE:
+            raise TransactionError(
+                f"cannot enlist in {self.state} transaction {self.txn_id}"
+            )
+        self._branches.append((name, branch))
+
+    @property
+    def branch_names(self) -> list[str]:
+        return [name for name, __ in self._branches]
+
+    def commit(self) -> None:
+        """Run both phases; raises :class:`TransactionAborted` on any
+        "no" vote, after rolling every branch back."""
+        if self.state != self.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} already {self.state}"
+            )
+        # phase 1: prepare
+        prepared: list[tuple[str, ResourceManager]] = []
+        refusing: Optional[str] = None
+        for name, branch in self._branches:
+            try:
+                vote = branch.prepare()
+            except Exception:
+                vote = False
+            if not vote:
+                refusing = name
+                break
+            prepared.append((name, branch))
+        if refusing is not None:
+            for name, branch in prepared:
+                branch.abort()
+            self.state = self.ABORTED
+            raise TransactionAborted(
+                f"transaction {self.txn_id} aborted: branch {refusing!r} "
+                "voted no during prepare"
+            )
+        # phase 2: commit
+        for __, branch in self._branches:
+            branch.commit()
+        self.state = self.COMMITTED
+
+    def abort(self) -> None:
+        """Roll back every branch."""
+        if self.state == self.COMMITTED:
+            raise TransactionError(
+                f"transaction {self.txn_id} already committed"
+            )
+        if self.state == self.ABORTED:
+            return
+        for __, branch in self._branches:
+            branch.abort()
+        self.state = self.ABORTED
+
+
+class TransactionCoordinator:
+    """Factory/registry for distributed transactions (the MS DTC role)."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._active: dict[int, DistributedTransaction] = {}
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    def begin(self) -> DistributedTransaction:
+        txn = DistributedTransaction(self._next_id)
+        self._active[self._next_id] = txn
+        self._next_id += 1
+        return txn
+
+    def commit(self, txn: DistributedTransaction) -> None:
+        try:
+            txn.commit()
+            self.committed_count += 1
+        except TransactionAborted:
+            self.aborted_count += 1
+            raise
+        finally:
+            self._active.pop(txn.txn_id, None)
+
+    def abort(self, txn: DistributedTransaction) -> None:
+        already_aborted = txn.state == DistributedTransaction.ABORTED
+        txn.abort()
+        if not already_aborted:
+            self.aborted_count += 1
+        self._active.pop(txn.txn_id, None)
+
+    @property
+    def active_transactions(self) -> Iterable[DistributedTransaction]:
+        return list(self._active.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionCoordinator(active={len(self._active)}, "
+            f"committed={self.committed_count}, aborted={self.aborted_count})"
+        )

@@ -1,0 +1,839 @@
+"""The engine: a SQL Server instance with a built-in DHQP.
+
+:class:`ServerInstance` is a complete mini SQL Server: catalog, SQL
+front end, Cascades optimizer, execution engine, DML, linked servers,
+and (optionally) an attached full-text service.  The same class serves
+as the *local* engine of Figure 1 and as each simulated *remote* server
+— a remote instance is simply another ServerInstance reachable only
+through its OLE DB provider over a simulated network channel.
+
+Typical use::
+
+    engine = ServerInstance("local")
+    engine.execute("CREATE TABLE t (id int PRIMARY KEY, name varchar(50))")
+    engine.execute("INSERT INTO t VALUES (1, 'one')")
+    remote = ServerInstance("remote0")
+    engine.add_linked_server("remote0", remote,
+                             NetworkChannel("wan", latency_ms=5))
+    result = engine.execute(
+        "SELECT * FROM remote0.master.dbo.customer c WHERE c.id = 3")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.algebra.logical import LogicalOp
+from repro.core.cost import CostModel
+from repro.core.linked_server import LinkedServer
+from repro.core.optimizer import OptimizationResult, Optimizer, OptimizerOptions
+from repro.core.physical import PhysicalOp
+from repro.dtc.coordinator import TransactionCoordinator
+from repro.errors import BindError, ExecutionError, SqlError
+from repro.execution.context import ExecutionContext
+from repro.execution.executor import execute_plan
+from repro.fulltext.service import FullTextService
+from repro.network.channel import NetworkChannel
+from repro.oledb.datasource import DataSource
+from repro.oledb.rowset import MaterializedRowset, Rowset
+from repro.providers.sqlserver import SqlServerDataSource
+from repro.sql import ast
+from repro.sql.binder import Binder, BoundQuery, FullTextBinding
+from repro.sql.parser import parse_sql
+from repro.storage.catalog import Catalog, Database, DEFAULT_SCHEMA
+from repro.storage.constraints import CheckConstraint, UniqueConstraint
+from repro.storage.table import Table
+from repro.storage.transactions import LocalTransaction
+from repro.types.datatypes import SqlType
+from repro.types.schema import Column, Schema
+
+
+class QueryResult:
+    """Result of one statement: rows + metadata + telemetry."""
+
+    def __init__(
+        self,
+        rows: list[tuple],
+        columns: list[str],
+        plan: Optional[PhysicalOp] = None,
+        optimization: Optional[OptimizationResult] = None,
+        context: Optional[ExecutionContext] = None,
+        rowcount: Optional[int] = None,
+    ):
+        self.rows = rows
+        self.columns = columns
+        self.plan = plan
+        self.optimization = optimization
+        self.context = context
+        #: affected-row count for DML statements
+        self.rowcount = rowcount if rowcount is not None else len(rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (aggregate shortcuts)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({len(self.rows)} rows, columns={self.columns})"
+
+
+class ServerInstance:
+    """A complete server: storage + DHQP + execution."""
+
+    def __init__(
+        self,
+        name: str = "local",
+        optimizer_options: Optional[OptimizerOptions] = None,
+        cost_model: Optional[CostModel] = None,
+        default_database: str = "master",
+    ):
+        self.name = name
+        self.catalog = Catalog(default_database)
+        self.linked_servers: Dict[str, LinkedServer] = {}
+        self.optimizer = Optimizer(
+            {}, cost_model or CostModel(), optimizer_options
+        )
+        self.dtc = TransactionCoordinator()
+        self.fulltext_service: Optional[FullTextService] = None
+        self._fulltext_bindings: Dict[tuple, FullTextBinding] = {}
+        self._openrowset_providers: Dict[str, Callable[..., DataSource]] = {}
+        self._maketable_providers: Dict[str, DataSource] = {}
+        #: Halloween protection switch (E14 flips this off to show why
+        #: the spool exists)
+        self.halloween_protection = True
+
+    # ==================================================================
+    # linked servers & providers
+    # ==================================================================
+    def add_linked_server(
+        self,
+        name: str,
+        target: "ServerInstance | DataSource",
+        channel: Optional[NetworkChannel] = None,
+        **provider_kwargs: Any,
+    ) -> LinkedServer:
+        """Register a linked server (Section 2.1's sp_addlinkedserver).
+
+        ``target`` may be another :class:`ServerInstance` (wrapped in a
+        SQL Server provider) or any pre-built OLE DB DataSource.
+        """
+        if isinstance(target, ServerInstance):
+            datasource: DataSource = SqlServerDataSource(
+                target,
+                channel=channel or NetworkChannel(name),
+                **provider_kwargs,
+            )
+            datasource.initialize()
+        else:
+            datasource = target
+            if not datasource.initialized:
+                datasource.initialize()
+        server = LinkedServer(name, datasource)
+        self.linked_servers[name.lower()] = server
+        self.optimizer.register_linked_server(server)
+        return server
+
+    def linked_server(self, name: str) -> Optional[LinkedServer]:
+        return self.linked_servers.get(name.lower())
+
+    def register_openrowset_provider(
+        self, provider_name: str, factory: Callable[..., DataSource]
+    ) -> None:
+        """factory(datasource, user, password) -> initialized DataSource."""
+        self._openrowset_providers[provider_name.lower()] = factory
+
+    def register_maketable_provider(
+        self, key: str, datasource: DataSource
+    ) -> None:
+        """Register a MakeTable() provider (Section 2.4), e.g. 'Mail'."""
+        if not datasource.initialized:
+            datasource.initialize()
+        self._maketable_providers[key.lower()] = datasource
+
+    # ==================================================================
+    # full-text integration (Sections 2.2-2.3)
+    # ==================================================================
+    def attach_fulltext_service(self, service: FullTextService) -> None:
+        self.fulltext_service = service
+        # OPENROWSET('MSIDXS', <catalog>, '<query>') works out of the box
+        from repro.providers.fulltext import FullTextDataSource
+
+        def factory(datasource: str, user: str, password: str) -> DataSource:
+            ds = FullTextDataSource(service, datasource)
+            ds.initialize()
+            return ds
+
+        self.register_openrowset_provider("MSIDXS", factory)
+
+    def create_fulltext_index(
+        self,
+        table_name: str,
+        key_column: str,
+        text_column: str,
+        catalog_name: Optional[str] = None,
+        database: Optional[str] = None,
+        schema_name: str = DEFAULT_SCHEMA,
+    ) -> None:
+        """Create and populate a relational full-text catalog over a
+        table's text column (Figure 2's indexing-support half)."""
+        if self.fulltext_service is None:
+            self.attach_fulltext_service(FullTextService())
+        assert self.fulltext_service is not None
+        db = self.catalog.database(database)
+        table = db.table(table_name, schema_name)
+        catalog_name = catalog_name or f"ft_{table_name}"
+        catalog = self.fulltext_service.create_catalog(
+            catalog_name, "relational"
+        )
+        key_ordinal = table.schema.ordinal_of(key_column)
+        text_ordinal = table.schema.ordinal_of(text_column)
+        for row in table.rows():
+            catalog.index_row(row[key_ordinal], row[text_ordinal])
+        binding = FullTextBinding(
+            self.fulltext_service, catalog_name, key_column, text_column
+        )
+        self._fulltext_bindings[
+            (db.name.lower(), schema_name.lower(), table_name.lower())
+        ] = binding
+
+    def _maintain_fulltext(
+        self, database: Database, schema_name: str, table: Table,
+        old_row: Optional[tuple], new_row: Optional[tuple],
+    ) -> None:
+        binding = self._fulltext_bindings.get(
+            (database.name.lower(), schema_name.lower(), table.name.lower())
+        )
+        if binding is None or self.fulltext_service is None:
+            return
+        catalog = self.fulltext_service.catalog(binding.catalog_name)
+        key_ordinal = table.schema.ordinal_of(binding.key_column)
+        text_ordinal = table.schema.ordinal_of(binding.text_column)
+        if old_row is not None:
+            catalog.remove_row(old_row[key_ordinal])
+        if new_row is not None:
+            catalog.index_row(new_row[key_ordinal], new_row[text_ordinal])
+
+    # ==================================================================
+    # BindContext protocol
+    # ==================================================================
+    def local_database(self, name: Optional[str]) -> Database:
+        return self.catalog.database(name)
+
+    def openrowset_datasource(
+        self, provider: str, datasource: str, user: str, password: str
+    ) -> DataSource:
+        factory = self._openrowset_providers.get(provider.lower())
+        if factory is None:
+            raise BindError(
+                f"no OPENROWSET provider registered as {provider!r}"
+            )
+        return factory(datasource, user, password)
+
+    def maketable_datasource(self, provider_key: str) -> DataSource:
+        ds = self._maketable_providers.get(provider_key.lower())
+        if ds is None:
+            raise BindError(
+                f"no MakeTable provider registered as {provider_key!r}"
+            )
+        return ds
+
+    def fulltext_binding(
+        self, database: str, schema_name: str, table_name: str
+    ) -> Optional[FullTextBinding]:
+        return self._fulltext_bindings.get(
+            (database.lower(), schema_name.lower(), table_name.lower())
+        )
+
+    # ==================================================================
+    # SqlBackend protocol (what our own OLE DB provider fronts)
+    # ==================================================================
+    def execute_sql(self, text: str, txn: Optional[LocalTransaction] = None) -> Rowset:
+        result = self.execute(text, txn=txn)
+        schema = Schema(
+            [Column(name, _infer_result_type(result, i)) for i, name in
+             enumerate(result.columns)]
+        )
+        return MaterializedRowset(schema, result.rows)
+
+    def describe_sql(self, text: str) -> Schema:
+        """Bind-only schema discovery (used by command describe)."""
+        stmt = parse_sql(text)
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SqlError("describe_sql expects a SELECT")
+        bound = Binder(self).bind_select(stmt)
+        return Schema(
+            [Column(d.name, d.type, d.nullable) for d in bound.output_defs]
+        )
+
+    def begin_transaction(self) -> LocalTransaction:
+        return LocalTransaction(f"{self.name}-txn")
+
+    # ==================================================================
+    # statement execution
+    # ==================================================================
+    def execute(
+        self,
+        sql_text: str,
+        params: Optional[Dict[str, Any]] = None,
+        txn: Optional[LocalTransaction] = None,
+    ) -> QueryResult:
+        """Parse, plan, and run one SQL statement.
+
+        ``txn`` attaches DML effects to a local transaction branch (the
+        path distributed transactions arrive through).
+        """
+        stmt = parse_sql(sql_text)
+        if isinstance(stmt, ast.SelectStmt):
+            return self._execute_select(stmt, params)
+        if isinstance(stmt, ast.ExplainStmt):
+            return self._execute_explain(stmt)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._execute_insert(stmt, params, txn)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._execute_update(stmt, params, txn)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._execute_delete(stmt, params, txn)
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._execute_create_table(stmt)
+        if isinstance(stmt, ast.CreateIndexStmt):
+            return self._execute_create_index(stmt)
+        if isinstance(stmt, ast.CreateViewStmt):
+            return self._execute_create_view(stmt)
+        if isinstance(stmt, ast.CreateDatabaseStmt):
+            self.catalog.create_database(stmt.name)
+            return QueryResult([], [], rowcount=0)
+        if isinstance(stmt, ast.DropTableStmt):
+            database, schema_name, table_name = self._table_target(stmt.table)
+            database.drop_table(table_name, schema_name)
+            return QueryResult([], [], rowcount=0)
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_explain(self, stmt: ast.ExplainStmt) -> QueryResult:
+        """EXPLAIN SELECT ...: one plan-tree line per row, plus phase
+        telemetry as trailing rows."""
+        bound = Binder(self).bind_select(stmt.select)
+        optimization = self.optimizer.optimize(bound.root)
+        lines = optimization.plan.tree_repr().splitlines()
+        lines.append("--")
+        for phase in optimization.phase_stats:
+            lines.append(
+                f"phase {phase.phase}: cost={phase.best_cost:.3f} "
+                f"rules={phase.rules_fired} groups={phase.groups_optimized}"
+            )
+        return QueryResult(
+            [(line,) for line in lines],
+            ["plan"],
+            optimization.plan,
+            optimization,
+        )
+
+    def plan(self, sql_text: str) -> OptimizationResult:
+        """Optimize a SELECT without executing it (EXPLAIN)."""
+        stmt = parse_sql(sql_text)
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SqlError("plan() expects a SELECT statement")
+        bound = Binder(self).bind_select(stmt)
+        return self.optimizer.optimize(bound.root)
+
+    def _execute_select(
+        self, stmt: ast.SelectStmt, params: Optional[Dict[str, Any]]
+    ) -> QueryResult:
+        bound = Binder(self).bind_select(stmt)
+        optimization = self.optimizer.optimize(bound.root)
+        ctx = ExecutionContext(
+            params, subquery_executor=self._run_subquery
+        )
+        rows = execute_plan(optimization.plan, ctx)
+        # align plan output order with the bound output defs
+        rows = _reorder_output(rows, optimization.plan, bound)
+        return QueryResult(
+            rows, bound.output_names, optimization.plan, optimization, ctx
+        )
+
+    def _run_subquery(self, root: LogicalOp) -> list[tuple]:
+        optimization = self.optimizer.optimize(root)
+        ctx = ExecutionContext(subquery_executor=self._run_subquery)
+        rows = execute_plan(optimization.plan, ctx)
+        ids = list(optimization.plan.output_ids())
+        wanted = list(root.output_ids())
+        if ids != wanted:
+            positions = [ids.index(cid) for cid in wanted]
+            rows = [tuple(row[p] for p in positions) for row in rows]
+        return rows
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _table_target(
+        self, named: ast.NamedTable
+    ) -> tuple[Database, str, str]:
+        parts = list(named.parts)
+        database_name: Optional[str] = None
+        schema_name = DEFAULT_SCHEMA
+        if len(parts) == 3:
+            database_name, schema_name, table_name = parts
+        elif len(parts) == 2:
+            schema_name, table_name = parts
+        elif len(parts) == 1:
+            (table_name,) = parts
+        else:
+            raise SqlError("DML targets must be local objects")
+        return self.catalog.database(database_name), schema_name, table_name
+
+    def _remote_dml_target(
+        self, named: ast.NamedTable
+    ) -> Optional[tuple[LinkedServer, str, str, str]]:
+        """(server, database, schema, table) for a four-part DML target,
+        or None when the target is local."""
+        if len(named.parts) != 4:
+            return None
+        server_name, database_name, schema_name, table_name = named.parts
+        server = self.linked_server(server_name)
+        if server is None:
+            raise BindError(f"unknown linked server {server_name!r}")
+        if not server.capabilities.is_sql_provider:
+            raise SqlError(
+                f"linked server {server_name!r} does not accept SQL DML"
+            )
+        return server, database_name, schema_name or DEFAULT_SCHEMA, table_name
+
+    def _execute_remote_dml(
+        self,
+        server: LinkedServer,
+        sql_text: str,
+        tables: list[tuple[Optional[str], str]],
+    ) -> QueryResult:
+        """Ship a DML statement to a linked server (Section 1: "query
+        AND update capabilities ... natively built into the query
+        processor"), with delayed schema validation first."""
+        for database_name, table_name in tables:
+            server.validate_schema_version(table_name, database_name)
+        session = server.create_session()
+        command = session.create_command()
+        command.set_text(sql_text)
+        command.execute()
+        server.invalidate_metadata()  # remote cardinalities changed
+        return QueryResult([], [], rowcount=-1)
+
+    def _execute_insert(
+        self,
+        stmt: ast.InsertStmt,
+        params: Optional[Dict[str, Any]],
+        txn: Optional[LocalTransaction] = None,
+    ) -> QueryResult:
+        remote = self._remote_dml_target(stmt.table)
+        if remote is not None:
+            return self._remote_insert(remote, stmt, params)
+        database, schema_name, table_name = self._table_target(stmt.table)
+        view = database.maybe_view(table_name, schema_name)
+        if view is not None:
+            from repro.federation.dml import insert_into_partitioned_view
+
+            count = insert_into_partitioned_view(
+                self, database, schema_name, view, stmt, params
+            )
+            return QueryResult([], [], rowcount=count)
+        table = database.table(table_name, schema_name)
+        if stmt.select is not None:
+            source = self._execute_select(stmt.select, params)
+            raw_rows = source.rows
+        else:
+            assert stmt.rows is not None
+            raw_rows = [
+                tuple(self._eval_standalone(expr, params) for expr in row)
+                for row in stmt.rows
+            ]
+        count = 0
+        for raw in raw_rows:
+            full_row = self._arrange_insert_row(table, stmt.columns, raw)
+            table.insert(full_row, txn=txn)
+            self._maintain_fulltext(
+                database, schema_name, table, None,
+                table.schema.validate_row(full_row),
+            )
+            count += 1
+        return QueryResult([], [], rowcount=count)
+
+    @staticmethod
+    def _arrange_insert_row(
+        table: Table, columns: Optional[list[str]], raw: tuple
+    ) -> tuple:
+        if columns is None:
+            return raw
+        if len(columns) != len(raw):
+            raise ExecutionError(
+                f"INSERT specifies {len(columns)} columns but {len(raw)} values"
+            )
+        by_name = {c.lower(): v for c, v in zip(columns, raw)}
+        out = []
+        for column in table.schema:
+            out.append(by_name.get(column.name.lower()))
+        return tuple(out)
+
+    def _bind_table_predicate(
+        self, table: Table, where: Optional[ast.Expr]
+    ) -> Optional[Callable]:
+        """Compile a WHERE clause against a table's own schema."""
+        if where is None:
+            return None
+        from repro.sql.binder import ColumnRegistry, Scope
+
+        registry = ColumnRegistry()
+        defs = [
+            registry.mint(c.name, c.type, c.nullable, table.name)
+            for c in table.schema
+        ]
+        scope = Scope()
+        scope.add(table.name, defs)
+        binder = Binder(self)
+        binder.registry = registry
+        bound = binder._bind_expr(where, scope)
+        layout = {d.cid: i for i, d in enumerate(defs)}
+        return bound.compile(layout)
+
+    def _execute_update(
+        self,
+        stmt: ast.UpdateStmt,
+        params: Optional[Dict[str, Any]],
+        txn: Optional[LocalTransaction] = None,
+    ) -> QueryResult:
+        remote = self._remote_dml_target(stmt.table)
+        if remote is not None:
+            return self._remote_update(remote, stmt, params)
+        database, schema_name, table_name = self._table_target(stmt.table)
+        view = database.maybe_view(table_name, schema_name)
+        if view is not None:
+            from repro.federation.dml import update_partitioned_view
+
+            count = update_partitioned_view(
+                self, database, schema_name, view, stmt, params
+            )
+            return QueryResult([], [], rowcount=count)
+        table = database.table(table_name, schema_name)
+        predicate = self._bind_table_predicate(table, stmt.where)
+        assignments = []
+        for column_name, expr in stmt.assignments:
+            ordinal = table.schema.ordinal_of(column_name)
+            assignments.append((ordinal, expr))
+        matching = self._collect_matching(table, predicate, params)
+        count = 0
+        for rid, row in matching:
+            new_row = list(row)
+            for ordinal, expr in assignments:
+                new_row[ordinal] = self._eval_row_expr(
+                    table, expr, row, params
+                )
+            old = table.update(rid, tuple(new_row), txn=txn)
+            self._maintain_fulltext(
+                database, schema_name, table, old,
+                table.schema.validate_row(tuple(new_row)),
+            )
+            count += 1
+        return QueryResult([], [], rowcount=count)
+
+    def _execute_delete(
+        self,
+        stmt: ast.DeleteStmt,
+        params: Optional[Dict[str, Any]],
+        txn: Optional[LocalTransaction] = None,
+    ) -> QueryResult:
+        remote = self._remote_dml_target(stmt.table)
+        if remote is not None:
+            return self._remote_delete(remote, stmt, params)
+        database, schema_name, table_name = self._table_target(stmt.table)
+        view = database.maybe_view(table_name, schema_name)
+        if view is not None:
+            from repro.federation.dml import delete_from_partitioned_view
+
+            count = delete_from_partitioned_view(
+                self, database, schema_name, view, stmt, params
+            )
+            return QueryResult([], [], rowcount=count)
+        table = database.table(table_name, schema_name)
+        predicate = self._bind_table_predicate(table, stmt.where)
+        matching = self._collect_matching(table, predicate, params)
+        count = 0
+        for rid, row in matching:
+            old = table.delete(rid, txn=txn)
+            self._maintain_fulltext(
+                database, schema_name, table, old, None
+            )
+            count += 1
+        return QueryResult([], [], rowcount=count)
+
+    def _remote_insert(
+        self,
+        target: tuple[LinkedServer, str, str, str],
+        stmt: ast.InsertStmt,
+        params: Optional[Dict[str, Any]],
+    ) -> QueryResult:
+        from repro.federation.dml import _render_value
+
+        server, database_name, schema_name, table_name = target
+        if stmt.select is not None:
+            source = self._execute_select(stmt.select, params)
+            raw_rows = source.rows
+        else:
+            assert stmt.rows is not None
+            raw_rows = [
+                tuple(self._eval_standalone(expr, params) for expr in row)
+                for row in stmt.rows
+            ]
+        columns_sql = (
+            f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+        )
+        values_sql = ", ".join(
+            "(" + ", ".join(_render_value(v) for v in row) + ")"
+            for row in raw_rows
+        )
+        sql_text = (
+            f"INSERT INTO {database_name}.{schema_name}.{table_name}"
+            f"{columns_sql} VALUES {values_sql}"
+        )
+        result = self._execute_remote_dml(
+            server, sql_text, [(database_name, table_name)]
+        )
+        result.rowcount = len(raw_rows)
+        return result
+
+    def _remote_update(
+        self,
+        target: tuple[LinkedServer, str, str, str],
+        stmt: ast.UpdateStmt,
+        params: Optional[Dict[str, Any]],
+    ) -> QueryResult:
+        from repro.federation.dml import _render_predicate
+
+        server, database_name, schema_name, table_name = target
+        set_sql = ", ".join(
+            f"{name} = {_render_predicate(self, expr, params)}"
+            for name, expr in stmt.assignments
+        )
+        where_sql = (
+            f" WHERE {_render_predicate(self, stmt.where, params)}"
+            if stmt.where is not None
+            else ""
+        )
+        sql_text = (
+            f"UPDATE {database_name}.{schema_name}.{table_name} "
+            f"SET {set_sql}{where_sql}"
+        )
+        return self._execute_remote_dml(
+            server, sql_text, [(database_name, table_name)]
+        )
+
+    def _remote_delete(
+        self,
+        target: tuple[LinkedServer, str, str, str],
+        stmt: ast.DeleteStmt,
+        params: Optional[Dict[str, Any]],
+    ) -> QueryResult:
+        from repro.federation.dml import _render_predicate
+
+        server, database_name, schema_name, table_name = target
+        where_sql = (
+            f" WHERE {_render_predicate(self, stmt.where, params)}"
+            if stmt.where is not None
+            else ""
+        )
+        sql_text = (
+            f"DELETE FROM {database_name}.{schema_name}.{table_name}"
+            f"{where_sql}"
+        )
+        return self._execute_remote_dml(
+            server, sql_text, [(database_name, table_name)]
+        )
+
+    def _collect_matching(
+        self,
+        table: Table,
+        predicate: Optional[Callable],
+        params: Optional[Dict[str, Any]],
+    ) -> list[tuple[int, tuple]]:
+        """Rows a DML statement touches.
+
+        With Halloween protection on (the default), the scan result is
+        spooled (materialized) before any modification — Section 4.1.4
+        notes the framework must manage such protective spools.
+        """
+        params = params or {}
+        scan = (
+            (rid, row)
+            for rid, row in table.scan()
+            if predicate is None or predicate(row, params) is True
+        )
+        if self.halloween_protection:
+            return list(scan)
+        return scan  # type: ignore[return-value]
+
+    def _eval_row_expr(
+        self,
+        table: Table,
+        expr: ast.Expr,
+        row: tuple,
+        params: Optional[Dict[str, Any]],
+    ) -> Any:
+        from repro.sql.binder import ColumnRegistry, Scope
+
+        registry = ColumnRegistry()
+        defs = [
+            registry.mint(c.name, c.type, c.nullable, table.name)
+            for c in table.schema
+        ]
+        scope = Scope()
+        scope.add(table.name, defs)
+        binder = Binder(self)
+        binder.registry = registry
+        bound = binder._bind_expr(expr, scope)
+        layout = {d.cid: i for i, d in enumerate(defs)}
+        return bound.compile(layout)(row, params or {})
+
+    def _eval_standalone(
+        self, expr: ast.Expr, params: Optional[Dict[str, Any]]
+    ) -> Any:
+        binder = Binder(self)
+        from repro.sql.binder import Scope
+
+        bound = binder._bind_expr(expr, Scope())
+        return bound.compile({})((), params or {})
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _execute_create_table(self, stmt: ast.CreateTableStmt) -> QueryResult:
+        database, schema_name, table_name = self._table_target(stmt.table)
+        columns = []
+        for definition in stmt.columns:
+            columns.append(
+                Column(
+                    definition.name,
+                    _type_from_syntax(definition.type_name, definition.type_arg),
+                    nullable=not (definition.not_null or definition.primary_key),
+                )
+            )
+        schema = Schema(columns)
+        table = database.create_table(table_name, schema, schema_name)
+        for definition in stmt.columns:
+            if definition.primary_key:
+                table.add_constraint(
+                    UniqueConstraint([definition.name], primary_key=True)
+                )
+            if definition.check is not None:
+                table.add_constraint(
+                    self._build_check(
+                        f"ck_{table_name}_{definition.name}",
+                        definition.check,
+                        schema,
+                    )
+                )
+        for index, (constraint_name, check_expr) in enumerate(stmt.table_checks):
+            table.add_constraint(
+                self._build_check(
+                    constraint_name or f"ck_{table_name}_{index}",
+                    check_expr,
+                    schema,
+                )
+            )
+        return QueryResult([], [], rowcount=0)
+
+    def _build_check(
+        self, name: str, expr: ast.Expr, schema: Schema
+    ) -> CheckConstraint:
+        """Bind a CHECK body and derive its symbolic domain when the
+        expression constrains a single column with constants."""
+        from repro.core.constraints import derive_domains, _domain_of_boolean
+        from repro.sql.binder import ColumnRegistry, Scope
+
+        registry = ColumnRegistry()
+        defs = [
+            registry.mint(c.name, c.type, c.nullable, None) for c in schema
+        ]
+        scope = Scope()
+        scope.add("__check__", defs)
+        binder = Binder(self)
+        binder.registry = registry
+        bound = binder._bind_expr(expr, scope)
+        layout = {d.cid: i for i, d in enumerate(defs)}
+        compiled = bound.compile(layout)
+
+        def predicate(row: Sequence[Any], table_schema: Schema):
+            return compiled(row, {})
+
+        column_name: Optional[str] = None
+        domain = None
+        implied = _domain_of_boolean(bound)
+        if implied is not None:
+            cid, domain = implied
+            definition = next(d for d in defs if d.cid == cid)
+            column_name = definition.name
+            # normalize endpoint literals to the column's type so
+            # routing/pruning compare like with like
+            try:
+                domain = domain.map_endpoints(definition.type.validate)
+            except Exception:
+                pass
+        return CheckConstraint(name, predicate, column_name, domain)
+
+    def _execute_create_index(self, stmt: ast.CreateIndexStmt) -> QueryResult:
+        database, schema_name, table_name = self._table_target(stmt.table)
+        table = database.table(table_name, schema_name)
+        table.create_index(stmt.index_name, stmt.columns, stmt.unique)
+        return QueryResult([], [], rowcount=0)
+
+    def _execute_create_view(self, stmt: ast.CreateViewStmt) -> QueryResult:
+        database, schema_name, view_name = self._table_target(stmt.view)
+        parsed = parse_sql(stmt.select_sql)
+        is_partitioned = (
+            isinstance(parsed, ast.SelectStmt) and bool(parsed.union_all)
+        )
+        database.create_view(
+            view_name, stmt.select_sql, schema_name, is_partitioned
+        )
+        return QueryResult([], [], rowcount=0)
+
+    def __repr__(self) -> str:
+        return f"ServerInstance({self.name})"
+
+
+# convenient alias: the local engine IS the public entry point
+Engine = ServerInstance
+
+
+def _type_from_syntax(type_name: str, type_arg: Optional[int]) -> SqlType:
+    from repro.core.linked_server import type_from_name
+
+    if type_arg is not None:
+        return type_from_name(f"{type_name}({type_arg})")
+    return type_from_name(type_name)
+
+
+def _infer_result_type(result: QueryResult, ordinal: int) -> SqlType:
+    from repro.types.datatypes import infer_type, varchar
+
+    for row in result.rows:
+        if row[ordinal] is not None:
+            return infer_type(row[ordinal])
+    return varchar()
+
+
+def _reorder_output(
+    rows: list[tuple], plan: PhysicalOp, bound: BoundQuery
+) -> list[tuple]:
+    """Plans may emit columns in a different id order than the query's
+    output list; realign by column id."""
+    plan_ids = list(plan.output_ids())
+    wanted = [d.cid for d in bound.output_defs]
+    if plan_ids == wanted:
+        return rows
+    positions = [plan_ids.index(cid) for cid in wanted]
+    return [tuple(row[p] for p in positions) for row in rows]

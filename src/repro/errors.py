@@ -1,0 +1,93 @@
+"""Exception hierarchy for the DHQP reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+major subsystems: SQL front end, catalog/binding, optimization,
+execution, providers (OLE DB layer), and distributed transactions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SqlError):
+    """Raised when the lexer encounters an invalid token."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when the parser cannot produce an AST."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SqlError):
+    """Raised when names cannot be resolved against the catalog."""
+
+
+class TypeCheckError(SqlError):
+    """Raised when an expression is ill-typed."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog inconsistencies (missing/duplicate objects)."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a row violates a table constraint."""
+
+
+class OptimizerError(ReproError):
+    """Raised when optimization fails to produce a plan."""
+
+
+class DecoderError(OptimizerError):
+    """Raised when a logical tree cannot be decoded into remote SQL."""
+
+
+class ExecutionError(ReproError):
+    """Raised for runtime failures in the execution engine."""
+
+
+class ProviderError(ReproError):
+    """Base class for OLE DB provider-layer errors."""
+
+
+class NotSupportedError(ProviderError):
+    """A provider was asked for a capability it does not expose."""
+
+
+class ConnectionError_(ProviderError):
+    """Raised when a data source object cannot be initialized."""
+
+
+class AuthenticationError(ConnectionError_):
+    """Raised when the supplied credentials are rejected."""
+
+
+class SchemaValidationError(ProviderError):
+    """Raised by delayed schema validation when a remote schema drifted."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised when a distributed transaction is rolled back."""
+
+
+class FullTextError(ReproError):
+    """Raised for full-text catalog or query-language errors."""

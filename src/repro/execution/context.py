@@ -1,0 +1,102 @@
+"""Execution context: parameters, spool caches, telemetry."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.algebra.expressions import Literal, ScalarExpr, ScalarSubquery
+
+
+class ExecutionContext:
+    """Per-execution state shared by all operators of one plan run."""
+
+    def __init__(
+        self,
+        params: Optional[Dict[str, Any]] = None,
+        subquery_executor: Optional[Callable[[Any], list]] = None,
+        validate_schemas: bool = True,
+    ):
+        #: @parameter values for this execution
+        self.params = dict(params or {})
+        #: engine callback: optimize+execute a logical tree, return rows
+        self.subquery_executor = subquery_executor
+        #: delayed schema validation switch (Section 4.1.5)
+        self.validate_schemas = validate_schemas
+        #: per-execution spool materializations (plan-node id -> rows)
+        self.spool_cache: Dict[int, list] = {}
+        #: telemetry
+        self.rows_produced = 0
+        self.remote_queries_executed = 0
+        self.startup_filters_skipped = 0
+        self.spool_rescans = 0
+
+    def resolve_scalar_subqueries(self, expr: ScalarExpr) -> ScalarExpr:
+        """Replace ScalarSubquery nodes with their (once-evaluated)
+        values; uncorrelated by construction, so one evaluation per
+        execution suffices."""
+        if isinstance(expr, ScalarSubquery):
+            if self.subquery_executor is None:
+                raise RuntimeError(
+                    "plan contains a scalar subquery but the context has "
+                    "no subquery executor"
+                )
+            rows = self.subquery_executor(expr.plan)
+            if len(rows) > 1:
+                from repro.errors import ExecutionError
+
+                raise ExecutionError(
+                    "scalar subquery returned more than one row"
+                )
+            value = rows[0][0] if rows else None
+            return Literal(value, expr.type)
+        children = expr.children()
+        if not children:
+            return expr
+        # rebuild via substitute on any child containing a subquery
+        if not _contains_subquery(expr):
+            return expr
+        return _rebuild(expr, self)
+
+
+def _contains_subquery(expr: ScalarExpr) -> bool:
+    if isinstance(expr, ScalarSubquery):
+        return True
+    return any(_contains_subquery(child) for child in expr.children())
+
+
+def _rebuild(expr: ScalarExpr, ctx: ExecutionContext) -> ScalarExpr:
+    """Structural rebuild replacing subquery nodes (rare path)."""
+    from repro.algebra.expressions import (
+        BinaryOp,
+        InListOp,
+        IsNullOp,
+        LikeOp,
+        NotOp,
+        FuncCall,
+    )
+
+    if isinstance(expr, ScalarSubquery):
+        return ctx.resolve_scalar_subqueries(expr)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, _rebuild(expr.left, ctx), _rebuild(expr.right, ctx)
+        )
+    if isinstance(expr, NotOp):
+        return NotOp(_rebuild(expr.operand, ctx))
+    if isinstance(expr, IsNullOp):
+        return IsNullOp(_rebuild(expr.operand, ctx), expr.negated)
+    if isinstance(expr, InListOp):
+        return InListOp(
+            _rebuild(expr.operand, ctx),
+            [_rebuild(i, ctx) for i in expr.items],
+            expr.negated,
+        )
+    if isinstance(expr, LikeOp):
+        return LikeOp(
+            _rebuild(expr.operand, ctx),
+            _rebuild(expr.pattern, ctx),
+            expr.negated,
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, [_rebuild(a, ctx) for a in expr.args])
+    return expr

@@ -1,0 +1,178 @@
+"""Leaf operators: scans, ranges, remote queries, provider rowsets."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.core import physical as P
+from repro.errors import ExecutionError
+from repro.execution.context import ExecutionContext
+
+Row = tuple
+
+
+def run_table_scan(plan: P.TableScan, ctx: ExecutionContext) -> Iterator[Row]:
+    table = plan.table.local_table
+    if table is None:
+        raise ExecutionError(
+            f"TableScan over non-local table {plan.table.qualified_name}"
+        )
+    return table.rows()
+
+
+def run_index_range(plan: P.IndexRange, ctx: ExecutionContext) -> Iterator[Row]:
+    table = plan.table.local_table
+    if table is None:
+        raise ExecutionError("IndexRange over non-local table")
+    index = table.indexes[plan.index_name]
+    domain = plan.domain
+    if plan.dynamic_probe is not None:
+        from repro.types.intervals import IntervalSet
+
+        op, probe = plan.dynamic_probe
+        value = probe.compile({})((), ctx.params)
+        if value is None:
+            return iter(())  # comparison with NULL selects nothing
+        probe_domain = IntervalSet.from_comparison(op, value)
+        domain = (
+            probe_domain if domain is None else domain.intersect(probe_domain)
+        )
+
+    def generate() -> Iterator[Row]:
+        intervals = domain.intervals if domain is not None else ()
+        if not intervals:
+            for __, rid in index.scan():
+                yield table.fetch(rid)
+            return
+        for interval in intervals:
+            for __, rid in index.set_range(interval):
+                yield table.fetch(rid)
+
+    rows = generate()
+    if plan.residual is not None:
+        from repro.execution.executor import compile_expr, layout_of
+
+        predicate = compile_expr(plan.residual, layout_of(plan), ctx)
+        params = ctx.params
+        return (row for row in rows if predicate(row, params) is True)
+    return rows
+
+
+def run_remote_scan(plan: P.RemoteScan, ctx: ExecutionContext) -> Iterator[Row]:
+    server = plan.table.provider
+    if server is None:
+        raise ExecutionError(
+            f"RemoteScan without a provider: {plan.table.qualified_name}"
+        )
+    if ctx.validate_schemas:
+        server.validate_schema_version(
+            plan.table.table_name, plan.table.database
+        )
+    session = server.create_session()
+    rowset = session.open_rowset(
+        plan.table.table_name,
+        schema_name=plan.table.schema_name,
+        database_name=plan.table.database,
+    )
+    return iter(rowset)
+
+
+def run_remote_range(plan: P.RemoteRange, ctx: ExecutionContext) -> Iterator[Row]:
+    """IRowsetIndex range + IRowsetLocate bookmark fetch."""
+    server = plan.table.provider
+    if server is None:
+        raise ExecutionError("RemoteRange without a provider")
+    if ctx.validate_schemas:
+        server.validate_schema_version(
+            plan.table.table_name, plan.table.database
+        )
+    session = server.create_session()
+
+    def generate() -> Iterator[Row]:
+        for interval in plan.domain.intervals:
+            index_rowset = session.open_index_rowset(
+                plan.table.table_name,
+                plan.index_name,
+                range_interval=interval,
+                database_name=plan.table.database,
+            )
+            bookmarks = [row[-1] for row in index_rowset]
+            if not bookmarks:
+                continue
+            fetched = session.fetch_by_bookmarks(
+                plan.table.table_name,
+                bookmarks,
+                database_name=plan.table.database,
+            )
+            yield from fetched
+
+    rows = generate()
+    if plan.residual is not None:
+        from repro.execution.executor import compile_expr, layout_of
+
+        predicate = compile_expr(plan.residual, layout_of(plan), ctx)
+        params = ctx.params
+        return (row for row in rows if predicate(row, params) is True)
+    return rows
+
+
+def run_remote_query(
+    plan: P.RemoteQuery,
+    ctx: ExecutionContext,
+    outer_row: Sequence[Any] = (),
+    outer_layout: dict | None = None,
+) -> Iterator[Row]:
+    """Execute a pushed SQL statement via ICommand.
+
+    ``?`` markers bind from ``plan.param_exprs`` — plain parameters read
+    the context's parameter bag; parameterized-join probes read the
+    current ``outer_row``.
+    """
+    server = plan.server
+    if ctx.validate_schemas:
+        for database, table_name in plan.tables_referenced:
+            server.validate_schema_version(table_name, database)
+    session = server.create_session()
+    command = session.create_command()
+    command.set_text(plan.sql_text)
+    if plan.param_exprs:
+        values = []
+        layout = outer_layout or {}
+        for expr in plan.param_exprs:
+            compiled = expr.compile(layout)
+            values.append(compiled(outer_row, ctx.params))
+        command.bind_parameters(values)
+    ctx.remote_queries_executed += 1
+    rowset = command.execute()
+    return iter(rowset)
+
+
+def run_provider_rowset(
+    plan: P.ProviderRowsetScan, ctx: ExecutionContext
+) -> Iterator[Row]:
+    node = plan.node
+    session = node.datasource.create_session()
+    if node.command_text is not None:
+        command = session.create_command()
+        command.set_text(node.command_text)
+        ctx.remote_queries_executed += 1
+        return iter(command.execute())
+    return iter(session.open_rowset(node.rowset_name))
+
+
+def run_const_scan(plan: P.ConstScan, ctx: ExecutionContext) -> Iterator[Row]:
+    params = ctx.params
+    for row_exprs in plan.rows:
+        compiled = [expr.compile({}) for expr in row_exprs]
+        yield tuple(fn((), params) for fn in compiled)
+
+
+def run_fulltext_lookup(
+    plan: P.FullTextKeyLookup, ctx: ExecutionContext
+) -> Iterator[Row]:
+    """Figure 2's query-support path: (KEY, RANK) rows from the
+    external search service."""
+    binding = plan.binding
+    catalog = binding.service.catalog(binding.catalog_name)
+    for match in catalog.search(plan.query_text):
+        yield (match.key, match.rank)

@@ -1,0 +1,331 @@
+"""DML through partitioned views.
+
+Rows route to the member whose CHECK-constraint domain admits the
+partitioning value.  Statements that touch more than one server run
+under a distributed transaction coordinated by the DTC (Section 2):
+every touched server contributes one branch, and any failure rolls the
+whole statement back atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ConstraintError, ExecutionError
+from repro.federation.partitioned_view import (
+    PartitionMember,
+    partition_members,
+)
+from repro.sql import ast
+from repro.storage.catalog import Database, ViewDefinition
+from repro.types.datatypes import infer_type
+
+
+def _render_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    return infer_type(value).render_literal(value)
+
+
+class _DmlSession:
+    """Per-statement bookkeeping: transactions across touched servers."""
+
+    def __init__(self, engine: Any):
+        self.engine = engine
+        self.local_txn = None
+        self.remote_sessions: Dict[str, Any] = {}
+        self.remote_txns: Dict[str, Any] = {}
+        self.dtxn = engine.dtc.begin()
+
+    def local_transaction(self):
+        if self.local_txn is None:
+            self.local_txn = self.engine.begin_transaction()
+            self.dtxn.enlist(self.engine.name, self.local_txn)
+        return self.local_txn
+
+    def remote(self, member: PartitionMember):
+        """(session, command factory) for a remote member's server."""
+        key = member.server_name.lower()
+        if key not in self.remote_sessions:
+            server = self.engine.linked_server(member.server_name)
+            if server is None:
+                raise ExecutionError(
+                    f"unknown linked server {member.server_name!r}"
+                )
+            session = server.create_session()
+            self.remote_sessions[key] = session
+            branch = session.begin_transaction()
+            self.remote_txns[key] = branch
+            self.dtxn.enlist(member.server_name, branch)
+        return self.remote_sessions[key]
+
+    def execute_remote(self, member: PartitionMember, sql_text: str) -> None:
+        session = self.remote(member)
+        command = session.create_command()
+        command.set_text(sql_text)
+        command.execute()
+
+    def commit(self) -> None:
+        self.engine.dtc.commit(self.dtxn)
+
+    def abort(self) -> None:
+        self.engine.dtc.abort(self.dtxn)
+
+
+def _resolve_members(
+    engine: Any, database: Database, schema_name: str, view: ViewDefinition
+) -> list[PartitionMember]:
+    members = partition_members(engine, database, schema_name, view)
+    return members
+
+
+def _route(members: list[PartitionMember], value: Any) -> PartitionMember:
+    for member in members:
+        if member.accepts(value):
+            return member
+    raise ConstraintError(
+        f"value {value!r} fits no partition of the view"
+    )
+
+
+def insert_into_partitioned_view(
+    engine: Any,
+    database: Database,
+    schema_name: str,
+    view: ViewDefinition,
+    stmt: ast.InsertStmt,
+    params: Optional[Dict[str, Any]],
+) -> int:
+    members = _resolve_members(engine, database, schema_name, view)
+    if stmt.select is not None:
+        source = engine._execute_select(stmt.select, params)
+        raw_rows = source.rows
+        column_names = stmt.columns or source.columns
+    else:
+        assert stmt.rows is not None
+        raw_rows = [
+            tuple(engine._eval_standalone(expr, params) for expr in row)
+            for row in stmt.rows
+        ]
+        column_names = stmt.columns
+    # column layout comes from any local member, or the remote schema
+    reference_schema = _member_schema(engine, database, members[0])
+    names = column_names or [c.name for c in reference_schema]
+    partition_column = members[0].partition_column
+    if partition_column is None:
+        raise ConstraintError(
+            f"view {view.name} has no partitioning CHECK constraints"
+        )
+    partition_ordinal = [n.lower() for n in names].index(
+        partition_column.lower()
+    )
+    partition_type = reference_schema[
+        reference_schema.ordinal_of(partition_column)
+    ].type
+    session = _DmlSession(engine)
+    try:
+        count = 0
+        for raw in raw_rows:
+            value = partition_type.validate(raw[partition_ordinal])
+            member = _route(members, value)
+            if member.is_remote:
+                sql_text = (
+                    f"INSERT INTO {member.database_name or 'master'}."
+                    f"{member.schema_name}.{member.table_name} "
+                    f"({', '.join(names)}) VALUES "
+                    f"({', '.join(_render_value(v) for v in raw)})"
+                )
+                session.execute_remote(member, sql_text)
+            else:
+                table = database.table(member.table_name, member.schema_name)
+                arranged = engine._arrange_insert_row(table, list(names), raw)
+                table.insert(arranged, txn=session.local_transaction())
+            count += 1
+        session.commit()
+        return count
+    except Exception:
+        session.abort()
+        raise
+
+
+def update_partitioned_view(
+    engine: Any,
+    database: Database,
+    schema_name: str,
+    view: ViewDefinition,
+    stmt: ast.UpdateStmt,
+    params: Optional[Dict[str, Any]],
+) -> int:
+    """UPDATE fans out to every member (each applies its own WHERE);
+    updates that would move a row across partitions are rejected, as in
+    SQL Server 2000's first release of partitioned views."""
+    members = _resolve_members(engine, database, schema_name, view)
+    partition_column = members[0].partition_column
+    assignments_touch_partition = partition_column is not None and any(
+        name.lower() == partition_column.lower()
+        for name, __ in stmt.assignments
+    )
+    if assignments_touch_partition:
+        raise ConstraintError(
+            "updating the partitioning column through a partitioned view "
+            "is not supported; DELETE + INSERT instead"
+        )
+    session = _DmlSession(engine)
+    try:
+        count = 0
+        for member in members:
+            count += _update_one_member(
+                engine, database, session, member, stmt, params
+            )
+        session.commit()
+        return count
+    except Exception:
+        session.abort()
+        raise
+
+
+def _update_one_member(
+    engine: Any,
+    database: Database,
+    session: _DmlSession,
+    member: PartitionMember,
+    stmt: ast.UpdateStmt,
+    params: Optional[Dict[str, Any]],
+) -> int:
+    if member.is_remote:
+        set_sql = ", ".join(
+            f"{name} = {_render_expr(engine, expr, params)}"
+            for name, expr in stmt.assignments
+        )
+        where_sql = (
+            f" WHERE {_render_where(engine, stmt.where, params)}"
+            if stmt.where is not None
+            else ""
+        )
+        sql_text = (
+            f"UPDATE {member.database_name or 'master'}."
+            f"{member.schema_name}.{member.table_name} SET {set_sql}"
+            f"{where_sql}"
+        )
+        remote_session = session.remote(member)
+        command = remote_session.create_command()
+        command.set_text(sql_text)
+        command.execute()
+        # remote rowcount is not surfaced through the command; count 0
+        return 0
+    table = database.table(member.table_name, member.schema_name)
+    predicate = engine._bind_table_predicate(table, stmt.where)
+    matching = list(
+        (rid, row)
+        for rid, row in table.scan()
+        if predicate is None or predicate(row, params or {}) is True
+    )
+    txn = session.local_transaction()
+    count = 0
+    for rid, row in matching:
+        new_row = list(row)
+        for column_name, expr in stmt.assignments:
+            ordinal = table.schema.ordinal_of(column_name)
+            new_row[ordinal] = engine._eval_row_expr(table, expr, row, params)
+        table.update(rid, tuple(new_row), txn=txn)
+        count += 1
+    return count
+
+
+def delete_from_partitioned_view(
+    engine: Any,
+    database: Database,
+    schema_name: str,
+    view: ViewDefinition,
+    stmt: ast.DeleteStmt,
+    params: Optional[Dict[str, Any]],
+) -> int:
+    members = _resolve_members(engine, database, schema_name, view)
+    session = _DmlSession(engine)
+    try:
+        count = 0
+        for member in members:
+            if member.is_remote:
+                where_sql = (
+                    f" WHERE {_render_where(engine, stmt.where, params)}"
+                    if stmt.where is not None
+                    else ""
+                )
+                sql_text = (
+                    f"DELETE FROM {member.database_name or 'master'}."
+                    f"{member.schema_name}.{member.table_name}{where_sql}"
+                )
+                session.execute_remote(member, sql_text)
+            else:
+                table = database.table(member.table_name, member.schema_name)
+                predicate = engine._bind_table_predicate(table, stmt.where)
+                matching = list(
+                    (rid, row)
+                    for rid, row in table.scan()
+                    if predicate is None
+                    or predicate(row, params or {}) is True
+                )
+                txn = session.local_transaction()
+                for rid, __ in matching:
+                    table.delete(rid, txn=txn)
+                    count += 1
+        session.commit()
+        return count
+    except Exception:
+        session.abort()
+        raise
+
+
+def _member_schema(engine: Any, database: Database, member: PartitionMember):
+    if member.is_remote:
+        server = engine.linked_server(member.server_name)
+        return server.table_info(member.table_name).schema
+    return database.table(member.table_name, member.schema_name).schema
+
+
+def _render_expr(engine: Any, expr: ast.Expr, params: Optional[Dict]) -> str:
+    value = engine._eval_standalone(expr, params)
+    return _render_value(value)
+
+
+def _render_where(engine: Any, where: ast.Expr, params: Optional[Dict]) -> str:
+    """Render a WHERE clause for a remote member, substituting
+    parameter values as literals."""
+    return _render_predicate(engine, where, params)
+
+
+def _render_predicate(engine: Any, expr: ast.Expr, params: Optional[Dict]) -> str:
+    if isinstance(expr, ast.BinaryExpr):
+        left = _render_predicate(engine, expr.left, params)
+        right = _render_predicate(engine, expr.right, params)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, ast.NotExpr):
+        return f"(NOT {_render_predicate(engine, expr.operand, params)})"
+    if isinstance(expr, ast.NameExpr):
+        return expr.parts[-1]
+    if isinstance(expr, ast.LiteralExpr):
+        return _render_value(expr.value)
+    if isinstance(expr, ast.ParamExpr):
+        name = expr.name.lstrip("@")
+        if params is None or name not in params:
+            raise ExecutionError(f"parameter @{name} not supplied")
+        return _render_value(params[name])
+    if isinstance(expr, ast.IsNullExpr):
+        middle = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({_render_predicate(engine, expr.operand, params)} {middle})"
+    if isinstance(expr, ast.BetweenExpr):
+        operand = _render_predicate(engine, expr.operand, params)
+        low = _render_predicate(engine, expr.low, params)
+        high = _render_predicate(engine, expr.high, params)
+        body = f"({operand} BETWEEN {low} AND {high})"
+        return f"(NOT {body})" if expr.negated else body
+    if isinstance(expr, ast.InExpr) and expr.items is not None:
+        operand = _render_predicate(engine, expr.operand, params)
+        items = ", ".join(
+            _render_predicate(engine, item, params) for item in expr.items
+        )
+        middle = "NOT IN" if expr.negated else "IN"
+        return f"({operand} {middle} ({items}))"
+    raise ExecutionError(
+        f"cannot render {type(expr).__name__} for a remote member"
+    )

@@ -1,0 +1,72 @@
+"""Full-text search service (Microsoft Search Service simulation).
+
+Sections 2.2–2.3 and Figure 2: an external index engine maintains
+full-text catalogs over file-system documents or relational text
+columns; the query component evaluates a CONTAINS predicate and returns
+an OLE DB rowset of (key, rank) pairs that the relational engine joins
+back to base rows.
+
+This package is that service: :mod:`ifilters` extract text from
+"document formats", :mod:`index` maintains the inverted index,
+:mod:`querylang` parses the CONTAINS language (phrases, AND/OR/AND NOT,
+NEAR proximity, FORMSOF inflectional via the stemmer), and
+:mod:`service` ties catalogs together behind the API the OLE DB
+provider wraps.
+"""
+
+from repro.fulltext.tokenizer import tokenize, tokenize_with_positions
+from repro.fulltext.stemmer import stem, inflectional_forms
+from repro.fulltext.ifilters import (
+    IFilter,
+    PlainTextFilter,
+    MarkupFilter,
+    WordDocumentFilter,
+    get_filter_for,
+    register_filter,
+)
+from repro.fulltext.index import InvertedIndex, Posting
+from repro.fulltext.querylang import (
+    ContainsQuery,
+    parse_contains,
+    TermNode,
+    PhraseNode,
+    AndNode,
+    OrNode,
+    AndNotNode,
+    NearNode,
+    FormsOfNode,
+)
+from repro.fulltext.service import (
+    FullTextCatalog,
+    FullTextService,
+    Document,
+    Match,
+)
+
+__all__ = [
+    "tokenize",
+    "tokenize_with_positions",
+    "stem",
+    "inflectional_forms",
+    "IFilter",
+    "PlainTextFilter",
+    "MarkupFilter",
+    "WordDocumentFilter",
+    "get_filter_for",
+    "register_filter",
+    "InvertedIndex",
+    "Posting",
+    "ContainsQuery",
+    "parse_contains",
+    "TermNode",
+    "PhraseNode",
+    "AndNode",
+    "OrNode",
+    "AndNotNode",
+    "NearNode",
+    "FormsOfNode",
+    "FullTextCatalog",
+    "FullTextService",
+    "Document",
+    "Match",
+]

@@ -1,0 +1,118 @@
+"""IFilters: text extraction from document formats.
+
+"The IFilter is an interface for retrieving text and properties out of
+documents.  It provides the foundation for building higher-level
+applications such as document indexers" (Section 2.2).  Each filter
+handles a family of extensions; ``register_filter`` lets applications
+plug in third-party formats exactly as the paper describes installing
+IFilters for PDF/ZIP.
+
+Our synthetic "document formats" wrap text in light structure so the
+filters do real extraction work:
+
+* ``.txt`` — plain text (identity).
+* ``.html`` / ``.xml`` — markup stripped, tags discarded.
+* ``.doc`` / ``.ppt`` — a faux binary format: lines of
+  ``FIELD|name|value`` records plus ``BODY|...`` text records; the
+  filter extracts body text and properties.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.errors import FullTextError
+
+
+class IFilter:
+    """Base text-extraction filter."""
+
+    #: extensions (lowercase, with dot) this filter handles
+    extensions: tuple[str, ...] = ()
+
+    def extract_text(self, content: str) -> str:
+        """The indexable text of a document."""
+        raise NotImplementedError
+
+    def extract_properties(self, content: str) -> Dict[str, str]:
+        """Named document properties (title, author, ...)."""
+        return {}
+
+
+class PlainTextFilter(IFilter):
+    """Identity filter for .txt files."""
+
+    extensions = (".txt", ".log", ".md")
+
+    def extract_text(self, content: str) -> str:
+        return content
+
+
+class MarkupFilter(IFilter):
+    """Strips tags from HTML/XML-ish documents; <title> is a property."""
+
+    extensions = (".html", ".htm", ".xml")
+
+    _TAG = re.compile(r"<[^>]*>")
+    _TITLE = re.compile(r"<title>(.*?)</title>", re.IGNORECASE | re.DOTALL)
+
+    def extract_text(self, content: str) -> str:
+        return self._TAG.sub(" ", content)
+
+    def extract_properties(self, content: str) -> Dict[str, str]:
+        match = self._TITLE.search(content)
+        if match:
+            return {"title": match.group(1).strip()}
+        return {}
+
+
+class WordDocumentFilter(IFilter):
+    """Parses the faux Office record format (FIELD/BODY lines)."""
+
+    extensions = (".doc", ".ppt", ".xlsnotes")
+
+    def extract_text(self, content: str) -> str:
+        body: list[str] = []
+        for line in content.splitlines():
+            if line.startswith("BODY|"):
+                body.append(line[len("BODY|"):])
+            elif not line.startswith("FIELD|") and line.strip():
+                raise FullTextError(
+                    f"malformed document record: {line[:40]!r}"
+                )
+        return "\n".join(body)
+
+    def extract_properties(self, content: str) -> Dict[str, str]:
+        props: Dict[str, str] = {}
+        for line in content.splitlines():
+            if line.startswith("FIELD|"):
+                parts = line.split("|", 2)
+                if len(parts) == 3:
+                    props[parts[1].lower()] = parts[2]
+        return props
+
+
+_REGISTRY: Dict[str, IFilter] = {}
+
+
+def register_filter(filter_: IFilter) -> None:
+    """Install an IFilter for its declared extensions (the paper's
+    "install necessary IFilters" step)."""
+    for extension in filter_.extensions:
+        _REGISTRY[extension.lower()] = filter_
+
+
+def get_filter_for(path: str) -> Optional[IFilter]:
+    """The registered filter for a file path, or None if the format is
+    not indexable."""
+    dot = path.rfind(".")
+    if dot < 0:
+        return None
+    return _REGISTRY.get(path[dot:].lower())
+
+
+# built-in filters are always registered
+register_filter(PlainTextFilter())
+register_filter(MarkupFilter())
+register_filter(WordDocumentFilter())

@@ -1,0 +1,179 @@
+"""The inverted index behind full-text catalogs.
+
+Stores, for each stemmed term, a postings list of (document key,
+positions).  Supports the query primitives the CONTAINS language needs:
+term lookup, phrase matching via positions, proximity (NEAR), and
+tf-idf ranking — the "ranking value" the query component returns with
+each key (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable
+
+from repro.fulltext.stemmer import stem
+from repro.fulltext.tokenizer import tokenize_with_positions
+
+
+class Posting:
+    """Occurrences of one term in one document."""
+
+    __slots__ = ("key", "positions")
+
+    def __init__(self, key: Any, positions: list[int]):
+        self.key = key
+        self.positions = positions
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+    def __repr__(self) -> str:
+        return f"Posting({self.key!r}, tf={self.term_frequency})"
+
+
+class InvertedIndex:
+    """Positional inverted index keyed by stemmed terms."""
+
+    def __init__(self) -> None:
+        # stem -> {doc key -> Posting}
+        self._postings: Dict[str, Dict[Any, Posting]] = {}
+        self._doc_lengths: Dict[Any, int] = {}
+
+    # -- maintenance -----------------------------------------------------
+    def add_document(self, key: Any, text: str) -> None:
+        """Index (or re-index) one document under ``key``."""
+        if key in self._doc_lengths:
+            self.remove_document(key)
+        tokens = tokenize_with_positions(text)
+        self._doc_lengths[key] = len(tokens)
+        for word, position in tokens:
+            stemmed = stem(word)
+            by_doc = self._postings.setdefault(stemmed, {})
+            posting = by_doc.get(key)
+            if posting is None:
+                by_doc[key] = Posting(key, [position])
+            else:
+                posting.positions.append(position)
+
+    def remove_document(self, key: Any) -> None:
+        if key not in self._doc_lengths:
+            return
+        del self._doc_lengths[key]
+        empty_terms = []
+        for term, by_doc in self._postings.items():
+            by_doc.pop(key, None)
+            if not by_doc:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    # -- basic facts -----------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def term_count(self) -> int:
+        return len(self._postings)
+
+    def document_length(self, key: Any) -> int:
+        return self._doc_lengths.get(key, 0)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._doc_lengths
+
+    # -- query primitives ---------------------------------------------------
+    def postings_for_word(self, word: str) -> Dict[Any, Posting]:
+        """Postings of a surface word (stemmed before lookup)."""
+        return self._postings.get(stem(word), {})
+
+    def documents_with_word(self, word: str) -> set[Any]:
+        return set(self.postings_for_word(word))
+
+    def documents_with_phrase(self, words: Iterable[str]) -> Dict[Any, int]:
+        """Documents containing the exact phrase; value = occurrence count.
+
+        Adjacency is checked on stored positions; noise words were
+        dropped at index time but kept their position numbers, so a
+        phrase across a noise word ("parallel database") still matches
+        with the right gap.
+        """
+        word_list = [stem(w) for w in words]
+        if not word_list:
+            return {}
+        candidate_postings = [self._postings.get(w, {}) for w in word_list]
+        if any(not p for p in candidate_postings):
+            return {}
+        candidates = set(candidate_postings[0])
+        for postings in candidate_postings[1:]:
+            candidates &= set(postings)
+        out: Dict[Any, int] = {}
+        for key in candidates:
+            count = 0
+            for start in candidate_postings[0][key].positions:
+                if self._phrase_continues(candidate_postings, key, start):
+                    count += 1
+            if count:
+                out[key] = count
+        return out
+
+    @staticmethod
+    def _phrase_continues(
+        candidate_postings: list[Dict[Any, Posting]], key: Any, start: int
+    ) -> bool:
+        """Do words 1..n-1 follow ``start`` in order, allowing a gap of
+        one position per step (dropped noise words keep their position
+        numbers, so 'parallel [the] database' still matches)?"""
+        prev = start
+        for postings in candidate_postings[1:]:
+            positions = postings[key].positions
+            step = next(
+                (p for p in sorted(positions) if prev < p <= prev + 2), None
+            )
+            if step is None:
+                return False
+            prev = step
+        return True
+
+    def documents_with_near(
+        self, left_word: str, right_word: str, max_distance: int = 10
+    ) -> set[Any]:
+        """Documents where the two words occur within ``max_distance``
+        positions of each other (the NEAR operator)."""
+        left = self.postings_for_word(left_word)
+        right = self.postings_for_word(right_word)
+        out = set()
+        for key in set(left) & set(right):
+            left_positions = left[key].positions
+            right_positions = right[key].positions
+            if any(
+                abs(lp - rp) <= max_distance
+                for lp in left_positions
+                for rp in right_positions
+            ):
+                out.add(key)
+        return out
+
+    # -- ranking -------------------------------------------------------------
+    def rank(self, key: Any, words: Iterable[str]) -> float:
+        """tf-idf rank of a document for a bag of query words."""
+        n_docs = max(1, self.document_count)
+        doc_len = max(1, self.document_length(key))
+        score = 0.0
+        for word in words:
+            postings = self.postings_for_word(word)
+            posting = postings.get(key)
+            if posting is None:
+                continue
+            tf = posting.term_frequency / doc_len
+            idf = math.log(1.0 + n_docs / (1 + len(postings)))
+            score += tf * idf
+        return score
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex({self.document_count} docs, "
+            f"{self.term_count} terms)"
+        )

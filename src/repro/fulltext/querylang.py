@@ -1,0 +1,315 @@
+"""The CONTAINS query language.
+
+Section 2.3: "The types of full-text queries supported include
+searching for words or phrases, words in close proximity to each
+other, and inflectional forms of verbs and nouns."  The grammar we
+support (a faithful subset of SQL Server's CONTAINS syntax):
+
+::
+
+    query     := or_expr
+    or_expr   := and_expr ( OR and_expr )*
+    and_expr  := not_expr ( AND [NOT] not_expr )*
+    not_expr  := primary
+    primary   := '(' query ')'
+               | '"' word+ '"'                     -- phrase
+               | word NEAR word                    -- proximity
+               | FORMSOF '(' INFLECTIONAL ',' word ')'
+               | word [ '*' ]                      -- term (prefix with *)
+
+Example from the paper (Section 2.2):
+``'"Parallel database" OR "heterogeneous query"'``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import FullTextError
+from repro.fulltext.index import InvertedIndex
+from repro.fulltext.stemmer import inflectional_forms
+
+
+class QueryNode:
+    """Base class of the CONTAINS expression tree."""
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        """Keys of matching documents."""
+        raise NotImplementedError
+
+    def words(self) -> list[str]:
+        """All positive query words (feed the ranking function)."""
+        return []
+
+
+class TermNode(QueryNode):
+    """A single word, optionally a prefix search (``word*``)."""
+
+    def __init__(self, word: str, prefix: bool = False):
+        self.word = word.lower()
+        self.prefix = prefix
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        if not self.prefix:
+            return index.documents_with_word(self.word)
+        out: set[Any] = set()
+        for term, by_doc in index._postings.items():  # noqa: SLF001
+            if term.startswith(self.word):
+                out.update(by_doc)
+        return out
+
+    def words(self) -> list[str]:
+        return [self.word]
+
+    def __repr__(self) -> str:
+        star = "*" if self.prefix else ""
+        return f"Term({self.word}{star})"
+
+
+class PhraseNode(QueryNode):
+    """An exact phrase in double quotes."""
+
+    def __init__(self, phrase_words: list[str]):
+        self.phrase_words = [w.lower() for w in phrase_words]
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        return set(index.documents_with_phrase(self.phrase_words))
+
+    def words(self) -> list[str]:
+        return list(self.phrase_words)
+
+    def __repr__(self) -> str:
+        return f"Phrase({' '.join(self.phrase_words)})"
+
+
+class AndNode(QueryNode):
+    def __init__(self, left: QueryNode, right: QueryNode):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        return self.left.evaluate(index) & self.right.evaluate(index)
+
+    def words(self) -> list[str]:
+        return self.left.words() + self.right.words()
+
+    def __repr__(self) -> str:
+        return f"And({self.left!r}, {self.right!r})"
+
+
+class OrNode(QueryNode):
+    def __init__(self, left: QueryNode, right: QueryNode):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        return self.left.evaluate(index) | self.right.evaluate(index)
+
+    def words(self) -> list[str]:
+        return self.left.words() + self.right.words()
+
+    def __repr__(self) -> str:
+        return f"Or({self.left!r}, {self.right!r})"
+
+
+class AndNotNode(QueryNode):
+    def __init__(self, left: QueryNode, right: QueryNode):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        return self.left.evaluate(index) - self.right.evaluate(index)
+
+    def words(self) -> list[str]:
+        return self.left.words()
+
+    def __repr__(self) -> str:
+        return f"AndNot({self.left!r}, {self.right!r})"
+
+
+class NearNode(QueryNode):
+    """``word NEAR word`` proximity."""
+
+    def __init__(self, left_word: str, right_word: str, max_distance: int = 10):
+        self.left_word = left_word.lower()
+        self.right_word = right_word.lower()
+        self.max_distance = max_distance
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        return index.documents_with_near(
+            self.left_word, self.right_word, self.max_distance
+        )
+
+    def words(self) -> list[str]:
+        return [self.left_word, self.right_word]
+
+    def __repr__(self) -> str:
+        return f"Near({self.left_word}, {self.right_word})"
+
+
+class FormsOfNode(QueryNode):
+    """``FORMSOF(INFLECTIONAL, word)``: match any inflected form."""
+
+    def __init__(self, word: str):
+        self.word = word.lower()
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        out: set[Any] = set()
+        for form in inflectional_forms(self.word):
+            out.update(index.documents_with_word(form))
+        return out
+
+    def words(self) -> list[str]:
+        return [self.word]
+
+    def __repr__(self) -> str:
+        return f"FormsOf({self.word})"
+
+
+class ContainsQuery:
+    """A parsed CONTAINS expression."""
+
+    def __init__(self, root: QueryNode, text: str):
+        self.root = root
+        self.text = text
+
+    def evaluate(self, index: InvertedIndex) -> set[Any]:
+        return self.root.evaluate(index)
+
+    def rank_matches(self, index: InvertedIndex) -> list[tuple[Any, float]]:
+        """Matching keys with tf-idf ranks, best first."""
+        words = self.root.words()
+        matches = self.root.evaluate(index)
+        ranked = [(key, index.rank(key, words)) for key in matches]
+        ranked.sort(key=lambda kr: (-kr[1], str(kr[0])))
+        return ranked
+
+    def __repr__(self) -> str:
+        return f"ContainsQuery({self.root!r})"
+
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<comma>,)   |
+        (?P<quote>"[^"]*") |
+        (?P<word>[A-Za-z0-9_']+\*?)
+    )""",
+    re.VERBOSE,
+)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = self._lex(text)
+        self.pos = 0
+
+    @staticmethod
+    def _lex(text: str) -> list[str]:
+        tokens = []
+        i = 0
+        while i < len(text):
+            match = _TOKEN.match(text, i)
+            if match is None:
+                if text[i].isspace():
+                    i += 1
+                    continue
+                raise FullTextError(
+                    f"bad CONTAINS syntax at {text[i:i + 10]!r}"
+                )
+            tokens.append(match.group().strip())
+            i = match.end()
+        return tokens
+
+    def peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def next(self) -> str:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got.upper() != token.upper():
+            raise FullTextError(f"expected {token!r}, got {got!r}")
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> QueryNode:
+        node = self.or_expr()
+        if self.pos != len(self.tokens):
+            raise FullTextError(
+                f"trailing tokens in CONTAINS query: {self.tokens[self.pos:]}"
+            )
+        return node
+
+    def or_expr(self) -> QueryNode:
+        node = self.and_expr()
+        while self.peek().upper() == "OR":
+            self.next()
+            node = OrNode(node, self.and_expr())
+        return node
+
+    def and_expr(self) -> QueryNode:
+        node = self.primary()
+        while self.peek().upper() == "AND":
+            self.next()
+            if self.peek().upper() == "NOT":
+                self.next()
+                node = AndNotNode(node, self.primary())
+            else:
+                node = AndNode(node, self.primary())
+        return node
+
+    def primary(self) -> QueryNode:
+        token = self.peek()
+        if not token:
+            raise FullTextError("unexpected end of CONTAINS query")
+        if token == "(":
+            self.next()
+            node = self.or_expr()
+            self.expect(")")
+            return node
+        if token.startswith('"'):
+            self.next()
+            from repro.fulltext.tokenizer import tokenize
+
+            phrase_words = tokenize(token[1:-1], drop_noise=True)
+            if not phrase_words:
+                raise FullTextError("empty phrase in CONTAINS query")
+            if len(phrase_words) == 1:
+                return TermNode(phrase_words[0])
+            return PhraseNode(phrase_words)
+        if token.upper() == "FORMSOF":
+            self.next()
+            self.expect("(")
+            mode = self.next()
+            if mode.upper() not in ("INFLECTIONAL", "THESAURUS"):
+                raise FullTextError(f"unknown FORMSOF mode {mode!r}")
+            self.expect(",")
+            word = self.next().strip('"')
+            self.expect(")")
+            return FormsOfNode(word)
+        # plain word, maybe followed by NEAR
+        word = self.next()
+        if self.peek().upper() == "NEAR":
+            self.next()
+            right = self.next()
+            if not right or right in ("(", ")"):
+                raise FullTextError("NEAR requires a right-hand word")
+            return NearNode(word, right.strip('"'))
+        prefix = word.endswith("*")
+        return TermNode(word.rstrip("*"), prefix=prefix)
+
+
+def parse_contains(text: str) -> ContainsQuery:
+    """Parse CONTAINS query text into an evaluable expression tree."""
+    stripped = text.strip()
+    if stripped.startswith("'") and stripped.endswith("'"):
+        stripped = stripped[1:-1]
+    if not stripped:
+        raise FullTextError("empty CONTAINS query")
+    return ContainsQuery(_Parser(stripped).parse(), text)

@@ -1,0 +1,175 @@
+"""The full-text service: catalogs, indexing, and query support.
+
+Figure 2 splits the Microsoft Search Service into an *index engine*
+(creation/maintenance of full-text catalogs) and a *query support*
+component ("given a full-text predicate, the search service determines
+which entries in the index meet the full-text selection criteria ...
+[and] returns an OLE DB Rowset containing the identity of the row ...
+and a ranking value").  :class:`FullTextService` plays both roles:
+
+* file-system catalogs index a dict of path → document content through
+  registered IFilters (the Section 2.2 scenario), exposing per-document
+  properties (path, filename, size, timestamps) as SCOPE() columns;
+* relational catalogs index (key, text) pairs pushed from a table (the
+  Section 2.3 scenario) and return (KEY, RANK) rowsets.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import FullTextError
+from repro.fulltext.ifilters import get_filter_for
+from repro.fulltext.index import InvertedIndex
+from repro.fulltext.querylang import ContainsQuery, parse_contains
+
+
+class Document:
+    """A file-system document registered in a catalog."""
+
+    __slots__ = ("path", "content", "size", "created", "written", "properties")
+
+    def __init__(
+        self,
+        path: str,
+        content: str,
+        created: Optional[_dt.datetime] = None,
+        written: Optional[_dt.datetime] = None,
+    ):
+        self.path = path
+        self.content = content
+        self.size = len(content)
+        self.created = created or _dt.datetime(2000, 1, 1)
+        self.written = written or self.created
+        self.properties: Dict[str, str] = {}
+
+    @property
+    def directory(self) -> str:
+        slash = self.path.replace("\\", "/").rfind("/")
+        return self.path[:slash] if slash >= 0 else ""
+
+    @property
+    def filename(self) -> str:
+        normalized = self.path.replace("\\", "/")
+        return normalized.rsplit("/", 1)[-1]
+
+    def __repr__(self) -> str:
+        return f"Document({self.path})"
+
+
+class Match:
+    """One query hit: document key + ranking value."""
+
+    __slots__ = ("key", "rank")
+
+    def __init__(self, key: Any, rank: float):
+        self.key = key
+        self.rank = rank
+
+    def __repr__(self) -> str:
+        return f"Match({self.key!r}, rank={self.rank:.4f})"
+
+
+class FullTextCatalog:
+    """One full-text catalog: an inverted index over documents or rows."""
+
+    FILESYSTEM = "filesystem"
+    RELATIONAL = "relational"
+
+    def __init__(self, name: str, kind: str):
+        if kind not in (self.FILESYSTEM, self.RELATIONAL):
+            raise FullTextError(f"unknown catalog kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.index = InvertedIndex()
+        self.documents: Dict[str, Document] = {}
+        self.skipped_paths: list[str] = []
+
+    # -- index engine: file-system side ------------------------------------
+    def index_document(self, document: Document) -> bool:
+        """Index one file through its IFilter; returns False when no
+        filter handles the format (the file is skipped, as the real
+        service skips formats without an installed IFilter)."""
+        if self.kind != self.FILESYSTEM:
+            raise FullTextError(f"catalog {self.name} is not a file catalog")
+        filter_ = get_filter_for(document.path)
+        if filter_ is None:
+            self.skipped_paths.append(document.path)
+            return False
+        text = filter_.extract_text(document.content)
+        document.properties = filter_.extract_properties(document.content)
+        self.documents[document.path] = document
+        self.index.add_document(document.path, text)
+        return True
+
+    def index_directory(self, files: Dict[str, str]) -> int:
+        """Index a directory snapshot {path: content}; returns the count
+        of documents actually indexed."""
+        count = 0
+        for path, content in sorted(files.items()):
+            if self.index_document(Document(path, content)):
+                count += 1
+        return count
+
+    # -- index engine: relational side ---------------------------------------
+    def index_row(self, key: Any, text: str) -> None:
+        """Index one (row key, column text) pair pushed from a table."""
+        if self.kind != self.RELATIONAL:
+            raise FullTextError(
+                f"catalog {self.name} is not a relational catalog"
+            )
+        self.index.add_document(key, text or "")
+
+    def remove_row(self, key: Any) -> None:
+        self.index.remove_document(key)
+
+    # -- query support --------------------------------------------------------
+    def search(self, contains_text: str) -> list[Match]:
+        """Evaluate a CONTAINS expression; matches ranked best-first."""
+        query: ContainsQuery = parse_contains(contains_text)
+        return [Match(key, rank) for key, rank in query.rank_matches(self.index)]
+
+    def document(self, path: str) -> Document:
+        if path not in self.documents:
+            raise FullTextError(f"document {path!r} not in catalog {self.name}")
+        return self.documents[path]
+
+    def __repr__(self) -> str:
+        return (
+            f"FullTextCatalog({self.name}, {self.kind}, "
+            f"{self.index.document_count} docs)"
+        )
+
+
+class FullTextService:
+    """The search service: a registry of catalogs (one per SCOPE)."""
+
+    def __init__(self) -> None:
+        self._catalogs: Dict[str, FullTextCatalog] = {}
+
+    def create_catalog(self, name: str, kind: str) -> FullTextCatalog:
+        key = name.lower()
+        if key in self._catalogs:
+            raise FullTextError(f"catalog {name!r} already exists")
+        catalog = FullTextCatalog(name, kind)
+        self._catalogs[key] = catalog
+        return catalog
+
+    def catalog(self, name: str) -> FullTextCatalog:
+        key = name.lower()
+        if key not in self._catalogs:
+            raise FullTextError(f"catalog {name!r} does not exist")
+        return self._catalogs[key]
+
+    def catalogs(self) -> Iterable[FullTextCatalog]:
+        return list(self._catalogs.values())
+
+    def drop_catalog(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._catalogs:
+            raise FullTextError(f"catalog {name!r} does not exist")
+        del self._catalogs[key]
+
+    def __repr__(self) -> str:
+        return f"FullTextService({sorted(self._catalogs)})"

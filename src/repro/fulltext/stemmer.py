@@ -1,0 +1,175 @@
+"""Stemming and inflectional form generation.
+
+The paper: "it is possible to find related words by searching over word
+stems.  For example, 'runner', 'run', and 'ran' can all be equivalent
+in full-text searches" (Section 2.3), and the CONTAINS language exposes
+this as FORMSOF(INFLECTIONAL, word).
+
+We implement a compact Porter-style suffix stripper plus an irregular
+verb/noun table covering the common cases (including the paper's own
+run/ran/runner example).
+"""
+
+from __future__ import annotations
+
+# irregular form -> canonical stem
+_IRREGULAR = {
+    "ran": "run",
+    "runner": "run",
+    "runners": "run",
+    "running": "run",
+    "went": "go",
+    "gone": "go",
+    "goes": "go",
+    "going": "go",
+    "better": "good",
+    "best": "good",
+    "was": "be",
+    "were": "be",
+    "been": "be",
+    "is": "be",
+    "are": "be",
+    "am": "be",
+    "children": "child",
+    "mice": "mouse",
+    "feet": "foot",
+    "geese": "goose",
+    "men": "man",
+    "women": "woman",
+    "wrote": "write",
+    "written": "write",
+    "writes": "write",
+    "writing": "write",
+    "spoke": "speak",
+    "spoken": "speak",
+    "took": "take",
+    "taken": "take",
+    "gave": "give",
+    "given": "give",
+    "found": "find",
+    "thought": "think",
+    "bought": "buy",
+    "brought": "bring",
+    "sent": "send",
+    "built": "build",
+    "held": "hold",
+    "kept": "keep",
+    "left": "leave",
+    "made": "make",
+    "met": "meet",
+    "paid": "pay",
+    "said": "say",
+    "sold": "sell",
+    "told": "tell",
+}
+
+# stem -> all inflected surface forms (built lazily, inverse of the above)
+_FORMS: dict[str, set[str]] = {}
+
+
+def _is_vowel(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in "aeiou":
+        return True
+    if ch == "y":
+        return i > 0 and word[i - 1] not in "aeiou"
+    return False
+
+
+def _has_vowel(word: str) -> bool:
+    return any(_is_vowel(word, i) for i in range(len(word)))
+
+
+def stem(word: str) -> str:
+    """Reduce a word to its stem (lowercase in, lowercase out)."""
+    word = word.lower()
+    if word in _IRREGULAR:
+        return _IRREGULAR[word]
+    if len(word) <= 3:
+        return word
+    # plural / 3rd person -s
+    if word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("ies") and len(word) > 4:
+        word = word[:-3] + "y"
+    elif word.endswith("s") and not word.endswith("ss") and not word.endswith("us"):
+        word = word[:-1]
+    # -ing / -ed
+    if word.endswith("ing") and len(word) > 5 and _has_vowel(word[:-3]):
+        word = word[:-3]
+        undoubled = _undouble(word)
+        word = undoubled if undoubled != word else _restore_e(word)
+    elif word.endswith("ed") and len(word) > 4 and _has_vowel(word[:-2]):
+        word = word[:-2]
+        undoubled = _undouble(word)
+        word = undoubled if undoubled != word else _restore_e(word)
+    # -er / -est (runner -> run handled by irregulars; "bigger" -> "big")
+    elif word.endswith("est") and len(word) > 5:
+        word = _undouble(word[:-3])
+    elif word.endswith("er") and len(word) > 4:
+        word = _undouble(word[:-2])
+    # -ly / -ness
+    if word.endswith("ly") and len(word) > 4:
+        word = word[:-2]
+    if word.endswith("ness") and len(word) > 5:
+        word = word[:-4]
+    return word
+
+
+def _undouble(word: str) -> str:
+    """drop a doubled final consonant: 'runn' -> 'run'."""
+    if (
+        len(word) >= 3
+        and word[-1] == word[-2]
+        and word[-1] not in "aeioulsz"
+    ):
+        return word[:-1]
+    return word
+
+
+def _restore_e(word: str) -> str:
+    """'creat' -> 'create', 'us' -> 'use': add e after C-V-C endings
+    where the stripped form is short."""
+    if (
+        len(word) >= 3
+        and not _is_vowel(word, len(word) - 1)
+        and _is_vowel(word, len(word) - 2)
+        and not _is_vowel(word, len(word) - 3)
+        and word[-1] not in "wxy"
+        and len(word) <= 4
+    ):
+        return word + "e"
+    return word
+
+
+def inflectional_forms(word: str) -> set[str]:
+    """All surface forms sharing ``word``'s stem (FORMSOF INFLECTIONAL).
+
+    Generated forms cover regular inflections plus known irregulars;
+    the index also stores stems, so matching works even for forms this
+    generator misses.
+    """
+    base = stem(word)
+    if not _FORMS:
+        for surface, canonical in _IRREGULAR.items():
+            _FORMS.setdefault(canonical, set()).add(surface)
+    forms = {word.lower(), base}
+    forms.update(_FORMS.get(base, set()))
+    doubled = base + base[-1] if base[-1] not in "aeiou" else base
+    forms.update(
+        {
+            base + "s",
+            base + "es",
+            base + "ed",
+            base + "ing",
+            doubled + "ed",
+            doubled + "ing",
+            base + "er",
+            base + "ers",
+        }
+    )
+    if base.endswith("e"):
+        forms.update({base[:-1] + "ing", base + "d"})
+    if base.endswith("y"):
+        forms.update({base[:-1] + "ies", base[:-1] + "ied"})
+    return forms

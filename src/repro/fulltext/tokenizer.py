@@ -1,0 +1,35 @@
+"""Word breaking for full-text indexing and querying."""
+
+from __future__ import annotations
+
+import re
+
+_WORD = re.compile(r"[a-z0-9]+(?:'[a-z0-9]+)?")
+
+#: words too common to index (a small SQL-Server-style noise word list)
+NOISE_WORDS = frozenset(
+    """a an and are as at be but by for from has have he her his i in is it
+    its of on or that the their them they this to was we were what when
+    which who will with you your""".split()
+)
+
+
+def tokenize(text: str, drop_noise: bool = True) -> list[str]:
+    """Break text into lowercase word tokens."""
+    words = _WORD.findall(text.lower())
+    if drop_noise:
+        return [w for w in words if w not in NOISE_WORDS]
+    return words
+
+
+def tokenize_with_positions(
+    text: str, drop_noise: bool = True
+) -> list[tuple[str, int]]:
+    """Tokens paired with their word position (noise words still count
+    toward positions so proximity distances stay faithful)."""
+    out = []
+    for position, word in enumerate(_WORD.findall(text.lower())):
+        if drop_noise and word in NOISE_WORDS:
+            continue
+        out.append((word, position))
+    return out

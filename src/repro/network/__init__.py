@@ -1,0 +1,13 @@
+"""Simulated network substrate.
+
+The paper ran against real remote servers; we substitute an in-process
+channel that *accounts* for every byte and round trip crossing a
+server boundary.  Experiments (notably E5/Figure 4 and E10) validate
+plan choices by the bytes the channel records, which is exactly the
+quantity the paper's remote cost model minimizes ("It aims at finding
+plans with minimal network traffic", Section 4.1.3).
+"""
+
+from repro.network.channel import NetworkChannel, NetworkStats, LOCAL_CHANNEL
+
+__all__ = ["NetworkChannel", "NetworkStats", "LOCAL_CHANNEL"]

@@ -1,0 +1,156 @@
+"""Network channels with latency/bandwidth accounting.
+
+A channel charges a fixed per-message latency plus a per-byte transfer
+cost, in simulated milliseconds, and keeps running totals.  Remote
+rowsets stream through a channel row by row (with batching, mirroring
+tabular data stream packets); commands (SQL text) are charged on the
+way out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.types.schema import Schema
+
+#: default per-row batch size for rowset streaming
+DEFAULT_BATCH_ROWS = 128
+
+
+class NetworkStats:
+    """Running totals for one channel (or an aggregate of channels)."""
+
+    __slots__ = ("bytes_sent", "bytes_received", "round_trips", "simulated_ms")
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.round_trips = 0
+        self.simulated_ms = 0.0
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.round_trips = 0
+        self.simulated_ms = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def merge(self, other: "NetworkStats") -> None:
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        self.round_trips += other.round_trips
+        self.simulated_ms += other.simulated_ms
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "round_trips": self.round_trips,
+            "simulated_ms": self.simulated_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkStats(sent={self.bytes_sent}B, recv={self.bytes_received}B, "
+            f"rt={self.round_trips}, {self.simulated_ms:.2f}ms)"
+        )
+
+
+class NetworkChannel:
+    """A simulated link between the local engine and one remote source.
+
+    ``latency_ms`` is charged once per round trip; ``mb_per_second``
+    converts bytes to simulated transfer time.  A channel with zero
+    latency and infinite bandwidth (``LOCAL_CHANNEL``) models in-process
+    access to the local storage engine — the paper notes local access
+    goes through the same OLE DB path.
+    """
+
+    def __init__(
+        self,
+        name: str = "remote",
+        latency_ms: float = 1.0,
+        mb_per_second: float = 100.0,
+    ):
+        self.name = name
+        self.latency_ms = float(latency_ms)
+        self.mb_per_second = float(mb_per_second)
+        self.stats = NetworkStats()
+
+    # -- cost primitives ------------------------------------------------------
+    def transfer_ms(self, nbytes: int) -> float:
+        """Simulated milliseconds to move ``nbytes`` (excl. latency)."""
+        if self.mb_per_second <= 0:
+            return 0.0
+        return nbytes / (self.mb_per_second * 1024 * 1024) * 1000.0
+
+    @property
+    def cost_per_byte_ms(self) -> float:
+        """Per-byte cost the optimizer uses (ms/byte)."""
+        return self.transfer_ms(1)
+
+    # -- accounting -------------------------------------------------------------
+    def send_command(self, text: str) -> None:
+        """Charge an outgoing command (SQL text) and one round trip."""
+        nbytes = len(text.encode("utf-8"))
+        self.stats.bytes_sent += nbytes
+        self.stats.round_trips += 1
+        self.stats.simulated_ms += self.latency_ms + self.transfer_ms(nbytes)
+
+    def stream_rows(
+        self,
+        rows: Iterable[tuple[Any, ...]],
+        schema: Optional[Schema] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> Iterator[tuple[Any, ...]]:
+        """Stream rows through the channel, charging per batch.
+
+        Yields rows unchanged; the accounting happens as a side effect,
+        with one round trip per ``batch_rows`` rows plus the per-row
+        byte volume.
+        """
+        in_batch = 0
+        for row in rows:
+            if in_batch == 0:
+                self.stats.round_trips += 1
+                self.stats.simulated_ms += self.latency_ms
+            nbytes = self._row_bytes(row, schema)
+            self.stats.bytes_received += nbytes
+            self.stats.simulated_ms += self.transfer_ms(nbytes)
+            in_batch = (in_batch + 1) % batch_rows
+            yield row
+
+    @staticmethod
+    def _row_bytes(row: tuple[Any, ...], schema: Optional[Schema]) -> int:
+        if schema is not None:
+            return schema.row_width(row)
+        total = 0
+        for value in row:
+            if value is None:
+                total += 1
+            elif isinstance(value, str):
+                total += len(value) + 2
+            elif isinstance(value, bool):
+                total += 1
+            elif isinstance(value, float):
+                total += 8
+            elif isinstance(value, int):
+                total += 4 if -(2**31) <= value < 2**31 else 8
+            else:
+                total += 8
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkChannel({self.name}, {self.latency_ms}ms, "
+            f"{self.mb_per_second}MB/s)"
+        )
+
+
+#: The in-process "channel": free and instantaneous.
+LOCAL_CHANNEL = NetworkChannel("local", latency_ms=0.0, mb_per_second=0.0)
+# a 0 MB/s bandwidth means "do not charge transfer time" for the local path
+LOCAL_CHANNEL.mb_per_second = float("inf")

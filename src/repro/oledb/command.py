@@ -1,0 +1,80 @@
+"""Command objects (Section 3.2.1).
+
+"The command object encapsulates the functions that enable a consumer
+to invoke the execution of data definition or data manipulation
+statements" — set text, optionally bind parameters, execute, receive a
+rowset.  The language of the text is entirely provider-defined
+(Table 1): T-SQL for the SQL Server provider, the Index Server query
+language for the full-text provider, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import ProviderError
+from repro.oledb.rowset import Rowset
+
+
+class Command:
+    """Base command.  Providers implement :meth:`_execute`."""
+
+    def __init__(self, session: Any):
+        self.session = session
+        self.text: Optional[str] = None
+        self.parameters: list[Any] = []
+
+    def set_text(self, text: str) -> None:
+        """Set the command text (query or DML in the provider's language)."""
+        self.text = text
+
+    def bind_parameters(self, values: Sequence[Any]) -> None:
+        """Bind positional parameter values (the remote parameterization
+        rule of Section 4.1.2 relies on this)."""
+        self.parameters = list(values)
+
+    def execute(self) -> Rowset:
+        """Execute the command; returns the result rowset.
+
+        Commands over a network channel charge the outgoing text before
+        executing.
+        """
+        if self.text is None:
+            raise ProviderError("command has no text")
+        channel = self.session.datasource.channel
+        rendered = self._render_text()
+        channel.send_command(rendered)
+        return self._execute(rendered)
+
+    def _render_text(self) -> str:
+        """Substitute bound parameters into the text.
+
+        Parameters are marked ``?`` positionally.  Values are rendered
+        as SQL literals; providers with exotic literal syntax override.
+        """
+        assert self.text is not None
+        if not self.parameters:
+            return self.text
+        parts = self.text.split("?")
+        if len(parts) - 1 != len(self.parameters):
+            raise ProviderError(
+                f"command has {len(parts) - 1} parameter markers but "
+                f"{len(self.parameters)} bound values"
+            )
+        out = [parts[0]]
+        for value, tail in zip(self.parameters, parts[1:]):
+            out.append(self._render_literal(value))
+            out.append(tail)
+        return "".join(out)
+
+    @staticmethod
+    def _render_literal(value: Any) -> str:
+        from repro.types.datatypes import infer_type
+
+        return infer_type(value).render_literal(value)
+
+    def _execute(self, text: str) -> Rowset:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.text!r})"

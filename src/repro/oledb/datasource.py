@@ -1,0 +1,95 @@
+"""Data Source Objects (DSOs).
+
+The DSO is "a common abstraction for connecting to the data store"
+(Section 3.1.1): a consumer sets authentication/location properties via
+``IDBProperties``, calls ``IDBInitialize`` to connect, then
+``IDBCreateSession`` to obtain sessions.  Concrete providers subclass
+:class:`DataSource` and declare their interface set and capabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConnectionError_, NotSupportedError
+from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.oledb.interfaces import (
+    IDB_CREATE_SESSION,
+    IDB_INITIALIZE,
+    IDB_PROPERTIES,
+    MANDATORY_DSO_INTERFACES,
+)
+from repro.oledb.properties import PropertySet, ProviderCapabilities
+
+
+class DataSource:
+    """Base class for every OLE DB provider's data source object."""
+
+    #: human-readable provider identifier, e.g. "SQLOLEDB", "MSIDXS"
+    provider_name: str = "BASE"
+
+    def __init__(self, channel: Optional[NetworkChannel] = None):
+        self.properties = PropertySet()
+        self.channel = channel if channel is not None else LOCAL_CHANNEL
+        self._initialized = False
+
+    # -- interface discovery ------------------------------------------------
+    def interfaces(self) -> frozenset[str]:
+        """The OLE DB interfaces this DSO (and its sessions) implement.
+
+        Subclasses extend this; the base set is the Table 2 mandatory
+        trio.
+        """
+        return MANDATORY_DSO_INTERFACES | {IDB_PROPERTIES}
+
+    def supports_interface(self, name: str) -> bool:
+        return name in self.interfaces()
+
+    # -- IDBProperties --------------------------------------------------------
+    def set_property(self, name: str, value: object) -> None:
+        self.properties.set(name, value)
+
+    def get_property(self, name: str, default: object = None) -> object:
+        return self.properties.get(name, default)
+
+    # -- IDBInitialize ---------------------------------------------------------
+    def initialize(self) -> None:
+        """Establish the connection; providers validate credentials and
+        locate their backing store here."""
+        self._check_connection()
+        self._initialized = True
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    def _check_connection(self) -> None:
+        """Hook for providers to validate properties; raises
+        :class:`ConnectionError_` on failure."""
+
+    # -- IDBCreateSession --------------------------------------------------------
+    def create_session(self) -> "Session":  # noqa: F821 (forward ref)
+        """Create a session; requires prior initialization."""
+        if not self._initialized:
+            raise ConnectionError_(
+                f"{self.provider_name}: data source not initialized "
+                "(call initialize() first)"
+            )
+        if not self.supports_interface(IDB_CREATE_SESSION):
+            raise NotSupportedError(
+                f"{self.provider_name} does not implement {IDB_CREATE_SESSION}"
+            )
+        return self._make_session()
+
+    def _make_session(self):
+        raise NotImplementedError
+
+    # -- IDBInfo (capabilities) -----------------------------------------------
+    @property
+    def capabilities(self) -> ProviderCapabilities:
+        """Digested capability descriptor (IDBInfo + extended props)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        state = "initialized" if self._initialized else "uninitialized"
+        return f"{type(self).__name__}({self.provider_name}, {state})"

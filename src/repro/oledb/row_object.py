@@ -1,0 +1,105 @@
+"""Row objects and chaptered rowsets (Section 3.2.3).
+
+"For dissimilar results, such as e-mail messages, calendar entries, and
+spreadsheet data, which may contain different columns, a single rowset
+becomes a limitation. ... OLE DB defines a row object.  Each row object
+represents an individual row instance ... Consumers can navigate
+through a set of rows viewing the common set of columns through the
+rowset abstraction, and then obtain a row object for a particular row
+in order to view row-specific columns."
+
+:class:`RowObject` carries the common columns positionally plus a bag
+of row-specific columns; :class:`ChapteredRowset` models containment
+hierarchies (e.g. a mail folder containing messages containing
+attachments) as parent rows with child rowsets per chapter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.errors import NotSupportedError
+from repro.oledb.rowset import Rowset
+from repro.types.schema import Schema
+
+
+class RowObject:
+    """One heterogeneous row: common columns + row-specific extras."""
+
+    __slots__ = ("schema", "values", "extra_columns")
+
+    def __init__(
+        self,
+        schema: Schema,
+        values: tuple[Any, ...],
+        extra_columns: Optional[Dict[str, Any]] = None,
+    ):
+        self.schema = schema
+        self.values = values
+        self.extra_columns = dict(extra_columns or {})
+
+    def common(self, name: str) -> Any:
+        """A common column by name."""
+        return self.values[self.schema.ordinal_of(name)]
+
+    def specific(self, name: str) -> Any:
+        """A row-specific column; raises if this row lacks it."""
+        if name not in self.extra_columns:
+            raise NotSupportedError(
+                f"row has no row-specific column {name!r}; available: "
+                f"{sorted(self.extra_columns)}"
+            )
+        return self.extra_columns[name]
+
+    def column_names(self) -> list[str]:
+        return list(self.schema.names) + sorted(self.extra_columns)
+
+    def __repr__(self) -> str:
+        return f"RowObject({self.values!r}, +{sorted(self.extra_columns)})"
+
+
+class ChapteredRowset(Rowset):
+    """A rowset whose rows own child rowsets, keyed by chapter name.
+
+    Models tree-structured sources ("hierarchies of row and rowset
+    objects ... via chaptered rowsets").  Iteration yields the common
+    columns like an ordinary rowset, so generic consumers work
+    unchanged; hierarchy-aware consumers call :meth:`row_objects` and
+    :meth:`chapter`.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        row_objects: Iterable[RowObject],
+        chapters: Optional[Dict[int, Dict[str, "ChapteredRowset"]]] = None,
+    ):
+        self._row_objects = list(row_objects)
+        self._chapters = chapters or {}
+        super().__init__(schema, (ro.values for ro in self._row_objects))
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return (ro.values for ro in self._row_objects)
+
+    def row_objects(self) -> Iterator[RowObject]:
+        """Navigate rows as full row objects."""
+        return iter(self._row_objects)
+
+    def chapter(self, row_index: int, name: str) -> "ChapteredRowset":
+        """The child rowset of chapter ``name`` under row ``row_index``."""
+        row_chapters = self._chapters.get(row_index, {})
+        if name not in row_chapters:
+            raise NotSupportedError(
+                f"row {row_index} has no chapter {name!r}; available: "
+                f"{sorted(row_chapters)}"
+            )
+        return row_chapters[name]
+
+    def chapter_names(self, row_index: int) -> list[str]:
+        return sorted(self._chapters.get(row_index, {}))
+
+    def __len__(self) -> int:
+        return len(self._row_objects)
+
+    def __repr__(self) -> str:
+        return f"ChapteredRowset({len(self._row_objects)} rows)"

@@ -1,0 +1,97 @@
+"""Rowsets: the unifying tabular abstraction (Section 3.1.2).
+
+"A rowset is a multi-set of rows where each row has zero or more
+columns of data. ... it is possible to layer components that consume or
+produce data through the same abstraction."  Base-table providers,
+query results, schema metadata, and full-text matches all flow through
+:class:`Rowset`.
+
+Rowsets are forward-only iterators with a schema.  When the underlying
+provider supports bookmarks (``IRowsetLocate``), rows can be paired
+with bookmarks via :meth:`iter_with_bookmarks`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import NotSupportedError
+from repro.types.schema import Schema
+
+
+class Rowset:
+    """A streaming rowset over an arbitrary row source."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[tuple[Any, ...]],
+        bookmarks: Optional[Iterable[int]] = None,
+        properties: Optional[dict[str, Any]] = None,
+    ):
+        self.schema = schema
+        self._rows = iter(rows)
+        self._bookmarks = iter(bookmarks) if bookmarks is not None else None
+        #: rowset properties (e.g. scrollability) a consumer may inspect
+        self.properties = dict(properties or {})
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        self._consumed = True
+        return self._rows
+
+    def iter_with_bookmarks(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """Yield (bookmark, row); requires bookmark support."""
+        if self._bookmarks is None:
+            raise NotSupportedError("rowset does not expose bookmarks")
+        self._consumed = True
+        return zip(self._bookmarks, self._rows)
+
+    @property
+    def supports_bookmarks(self) -> bool:
+        return self._bookmarks is not None
+
+    def fetch_all(self) -> list[tuple[Any, ...]]:
+        """Drain the rowset into a list (convenience for consumers)."""
+        return list(self)
+
+    def map(
+        self, fn: Callable[[tuple[Any, ...]], tuple[Any, ...]], schema: Schema
+    ) -> "Rowset":
+        """A derived rowset applying ``fn`` to every row."""
+        return Rowset(schema, (fn(row) for row in self))
+
+    def __repr__(self) -> str:
+        return f"Rowset({self.schema!r})"
+
+
+class MaterializedRowset(Rowset):
+    """A rowset backed by an in-memory list; re-iterable and countable.
+
+    Used for schema rowsets, histogram rowsets, and spooled results.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Sequence[tuple[Any, ...]],
+        bookmarks: Optional[Sequence[int]] = None,
+        properties: Optional[dict[str, Any]] = None,
+    ):
+        self.rows = list(rows)
+        self._bookmark_list = list(bookmarks) if bookmarks is not None else None
+        super().__init__(schema, self.rows, self._bookmark_list, properties)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def iter_with_bookmarks(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        if self._bookmark_list is None:
+            raise NotSupportedError("rowset does not expose bookmarks")
+        return zip(self._bookmark_list, self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"MaterializedRowset({len(self.rows)} rows, {self.schema!r})"

@@ -1,0 +1,186 @@
+"""Schema rowsets: metadata returned *as rowsets* (Section 3.1.2).
+
+"Rowsets are also used to return metadata, such as database schema,
+supported data type information, extended column information and
+statistics."  We implement the four rowsets the DHQP consumes:
+
+* TABLES — one row per table,
+* COLUMNS — one row per column,
+* INDEXES — one row per index key column,
+* TABLES_INFO — per-table cardinality (Section 3.2.4), plus
+* histogram rowsets built from :class:`~repro.stats.histogram.Histogram`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.oledb.rowset import MaterializedRowset
+from repro.stats.histogram import Histogram
+from repro.storage.table import Table
+from repro.types.datatypes import BIGINT, BOOL, FLOAT, INT, varchar
+from repro.types.schema import Column, Schema
+
+SCHEMA_TABLES = Schema(
+    [
+        Column("TABLE_CATALOG", varchar()),
+        Column("TABLE_SCHEMA", varchar()),
+        Column("TABLE_NAME", varchar(), nullable=False),
+        Column("TABLE_TYPE", varchar(), nullable=False),
+    ]
+)
+
+SCHEMA_COLUMNS = Schema(
+    [
+        Column("TABLE_NAME", varchar(), nullable=False),
+        Column("COLUMN_NAME", varchar(), nullable=False),
+        Column("ORDINAL_POSITION", INT, nullable=False),
+        Column("DATA_TYPE", varchar(), nullable=False),
+        Column("IS_NULLABLE", BOOL, nullable=False),
+    ]
+)
+
+SCHEMA_INDEXES = Schema(
+    [
+        Column("TABLE_NAME", varchar(), nullable=False),
+        Column("INDEX_NAME", varchar(), nullable=False),
+        Column("UNIQUE", BOOL, nullable=False),
+        Column("ORDINAL_POSITION", INT, nullable=False),
+        Column("COLUMN_NAME", varchar(), nullable=False),
+    ]
+)
+
+SCHEMA_TABLES_INFO = Schema(
+    [
+        Column("TABLE_NAME", varchar(), nullable=False),
+        Column("CARDINALITY", BIGINT, nullable=False),
+        Column("AVG_ROW_WIDTH", FLOAT, nullable=False),
+        Column("SCHEMA_VERSION", INT, nullable=False),
+    ]
+)
+
+# CHECK_CONSTRAINTS is a standard OLE DB schema rowset; we expose the
+# symbolic domain (an IntervalSet) as a variant column so the DHQP can
+# prune partitioned-view members (Section 4.1.5).  SQL_TEXT carries the
+# human-readable constraint body.
+SCHEMA_CHECK_CONSTRAINTS = Schema(
+    [
+        Column("TABLE_NAME", varchar(), nullable=False),
+        Column("CONSTRAINT_NAME", varchar(), nullable=False),
+        Column("COLUMN_NAME", varchar()),
+        Column("DOMAIN", varchar()),  # variant: IntervalSet object
+        Column("SQL_TEXT", varchar()),
+    ]
+)
+
+SCHEMA_HISTOGRAM = Schema(
+    [
+        Column("RANGE_HI_KEY", varchar()),
+        Column("EQ_ROWS", FLOAT, nullable=False),
+        Column("RANGE_ROWS", FLOAT, nullable=False),
+        Column("DISTINCT_RANGE_ROWS", FLOAT, nullable=False),
+    ]
+)
+
+
+def tables_rowset(
+    tables: Iterable[tuple[str, str, Table]],
+    catalog_name: Optional[str] = None,
+) -> MaterializedRowset:
+    """Build a TABLES schema rowset from (schema_name, type, table)."""
+    rows = [
+        (catalog_name, schema_name, table.name, table_type)
+        for schema_name, table_type, table in tables
+    ]
+    return MaterializedRowset(SCHEMA_TABLES, rows)
+
+
+def columns_rowset(tables: Iterable[Table]) -> MaterializedRowset:
+    rows = []
+    for table in tables:
+        for ordinal, column in enumerate(table.schema):
+            rows.append(
+                (
+                    table.name,
+                    column.name,
+                    ordinal + 1,
+                    repr(column.type),
+                    column.nullable,
+                )
+            )
+    return MaterializedRowset(SCHEMA_COLUMNS, rows)
+
+
+def indexes_rowset(tables: Iterable[Table]) -> MaterializedRowset:
+    rows = []
+    for table in tables:
+        for index in table.indexes.values():
+            for ordinal, column_name in enumerate(index.metadata.key_columns):
+                rows.append(
+                    (
+                        table.name,
+                        index.metadata.name,
+                        index.metadata.unique,
+                        ordinal + 1,
+                        column_name,
+                    )
+                )
+    return MaterializedRowset(SCHEMA_INDEXES, rows)
+
+
+def tables_info_rowset(tables: Iterable[Table]) -> MaterializedRowset:
+    """Cardinality rowset: what the optimizer reads for remote row counts."""
+    rows = [
+        (
+            table.name,
+            table.row_count,
+            table.statistics.avg_row_width,
+            table.schema_version,
+        )
+        for table in tables
+    ]
+    return MaterializedRowset(SCHEMA_TABLES_INFO, rows)
+
+
+def check_constraints_rowset(tables: Iterable[Table]) -> MaterializedRowset:
+    """CHECK constraints with symbolic domains, for partition pruning."""
+    rows = []
+    for table in tables:
+        for constraint in table.check_constraints():
+            rows.append(
+                (
+                    table.name,
+                    constraint.name,
+                    constraint.column_name,
+                    constraint.domain,
+                    constraint.sql_text,
+                )
+            )
+    return MaterializedRowset(SCHEMA_CHECK_CONSTRAINTS, rows)
+
+
+def histogram_rowset(histogram: Histogram) -> MaterializedRowset:
+    """Serialize a histogram into the standard histogram rowset shape."""
+    rows = [
+        (
+            bucket.upper_bound,
+            bucket.equal_rows,
+            bucket.range_rows,
+            bucket.distinct_range,
+        )
+        for bucket in histogram.buckets
+    ]
+    return MaterializedRowset(
+        SCHEMA_HISTOGRAM, rows, properties={"null_rows": histogram.null_rows}
+    )
+
+
+def histogram_from_rowset(rowset: MaterializedRowset) -> Histogram:
+    """Reconstruct a histogram on the consumer side of the wire."""
+    from repro.stats.histogram import HistogramBucket
+
+    buckets = [
+        HistogramBucket(upper, eq_rows, range_rows, distinct_range)
+        for upper, eq_rows, range_rows, distinct_range in rowset
+    ]
+    return Histogram(buckets, rowset.properties.get("null_rows", 0.0))

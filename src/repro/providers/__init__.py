@@ -1,0 +1,46 @@
+"""Concrete OLE DB providers.
+
+One module per provider family, covering every category of Section 3.3
+and every scenario of Section 2:
+
+* :mod:`sqlserver` — the SQL provider ("SQLOLEDB"): full SQL-92 support,
+  indexes, statistics, transactions; fronts both the local engine and
+  simulated remote SQL Server instances.  A configurable dialect lets
+  the same class model Oracle/DB2-like SQL sources at lower
+  ``DBPROP_SQLSUPPORT`` levels.
+* :mod:`simple` — a simple provider over named tabular data (text/CSV
+  files): connect + rowsets only; the DHQP does all query processing.
+* :mod:`isam` — an Access/Jet-like index provider: rowsets, indexes
+  (IRowsetIndex), bookmarks (IRowsetLocate), schema rowsets, no
+  command object.
+* :mod:`excel` — an Excel-like provider: each worksheet is a rowset
+  whose first row is the header.
+* :mod:`email` — the mail-file provider behind the paper's MakeTable
+  scenario (Section 2.4), with chaptered rowsets for attachments.
+* :mod:`fulltext` — the "MSIDXS" provider over the search service,
+  a query provider with a proprietary (non-SQL) language.
+* :mod:`passthrough` — a generic proprietary-language query provider
+  (the OpenQuery target), used to model OLAP/MDX-style sources.
+"""
+
+from repro.providers.sqlserver import SqlBackend, SqlServerDataSource
+from repro.providers.simple import SimpleDataSource
+from repro.providers.isam import IsamDataSource
+from repro.providers.excel import ExcelDataSource, Workbook
+from repro.providers.email import EmailDataSource, MailFile, MailMessage
+from repro.providers.fulltext import FullTextDataSource
+from repro.providers.passthrough import PassThroughDataSource
+
+__all__ = [
+    "SqlBackend",
+    "SqlServerDataSource",
+    "SimpleDataSource",
+    "IsamDataSource",
+    "ExcelDataSource",
+    "Workbook",
+    "EmailDataSource",
+    "MailFile",
+    "MailMessage",
+    "FullTextDataSource",
+    "PassThroughDataSource",
+]

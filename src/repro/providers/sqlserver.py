@@ -1,0 +1,166 @@
+"""The SQL provider ("SQLOLEDB" and friends).
+
+Fronts any object implementing :class:`SqlBackend` — in practice a
+:class:`~repro.engine.ServerInstance`, whether it plays the local
+engine (Figure 1's "OLE DB / Storage Engine" path) or a simulated
+remote server reachable over a network channel.
+
+The same class models non-SQL-Server relational sources (Oracle- or
+DB2-like): construct it with a lower :class:`SqlSupportLevel`, a
+different dialect name, and a different collation, and the DHQP's
+decoder will restrict what it remotes accordingly (Section 3.3:
+"The DHQP constructs plans such that the provider's capabilities are
+fully used while not overshooting its limitations").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.oledb.command import Command
+from repro.oledb.datasource import DataSource
+from repro.oledb.interfaces import (
+    ICOMMAND,
+    IDB_CREATE_COMMAND,
+    IDB_CREATE_SESSION,
+    IDB_INFO,
+    IDB_INITIALIZE,
+    IDB_PROPERTIES,
+    IDB_SCHEMA_ROWSET,
+    IOPEN_ROWSET,
+    IROWSET,
+    IROWSET_INDEX,
+    IROWSET_LOCATE,
+)
+from repro.oledb.properties import ProviderCapabilities, SqlSupportLevel
+from repro.oledb.rowset import Rowset
+from repro.providers.base import TableBackedSession
+from repro.storage.catalog import Catalog
+from repro.storage.transactions import ResourceManager
+from repro.types.collation import Collation, DEFAULT_COLLATION
+
+
+class SqlBackend(Protocol):
+    """What a SQL-capable server must offer its provider."""
+
+    name: str
+    catalog: Catalog
+
+    def execute_sql(self, text: str) -> Rowset:
+        """Parse/plan/execute SQL text, returning the result rowset."""
+        ...
+
+    def begin_transaction(self) -> ResourceManager:
+        ...
+
+
+class SqlServerDataSource(DataSource):
+    """Data source object for a SQL-capable server."""
+
+    provider_name = "SQLOLEDB"
+
+    def __init__(
+        self,
+        backend: SqlBackend,
+        channel: Optional[NetworkChannel] = None,
+        sql_support: SqlSupportLevel = SqlSupportLevel.SQL92_FULL,
+        dialect_name: str = "tsql",
+        collation: Collation = DEFAULT_COLLATION,
+        supports_nested_select: bool = True,
+        provider_name: Optional[str] = None,
+        database_name: Optional[str] = None,
+    ):
+        super().__init__(channel)
+        self.backend = backend
+        self.database_name = database_name
+        if provider_name is not None:
+            self.provider_name = provider_name
+        self._capabilities = ProviderCapabilities(
+            sql_support=sql_support,
+            query_language=(
+                "Transact-SQL" if dialect_name == "tsql" else f"SQL ({dialect_name})"
+            ),
+            supports_indexes=True,
+            supports_statistics=True,
+            supports_nested_select=supports_nested_select,
+            supports_parallel_scan=dialect_name == "tsql",
+            supports_transactions=True,
+            collation=collation,
+            dialect_name=dialect_name,
+        )
+
+    def interfaces(self) -> frozenset[str]:
+        return frozenset(
+            {
+                IDB_INITIALIZE,
+                IDB_CREATE_SESSION,
+                IDB_PROPERTIES,
+                IDB_INFO,
+                IDB_SCHEMA_ROWSET,
+                IOPEN_ROWSET,
+                IDB_CREATE_COMMAND,
+                ICOMMAND,
+                IROWSET,
+                IROWSET_INDEX,
+                IROWSET_LOCATE,
+            }
+        )
+
+    @property
+    def capabilities(self) -> ProviderCapabilities:
+        return self._capabilities
+
+    def _make_session(self) -> "SqlServerSession":
+        database = self.backend.catalog.database(self.database_name)
+        return SqlServerSession(self, database, self.backend.catalog)
+
+
+class SqlServerSession(TableBackedSession):
+    """Session over a SQL backend: table rowsets + SQL commands.
+
+    The session is the transactional scope (Section 3.1): a transaction
+    begun here covers every command the session executes until it
+    completes.
+    """
+
+    def __init__(self, datasource: Any, database: Any, catalog: Any = None):
+        super().__init__(datasource, database, catalog)
+        self.active_transaction: Optional[ResourceManager] = None
+
+    def _make_command(self) -> "SqlCommand":
+        return SqlCommand(self)
+
+    def begin_transaction(self) -> ResourceManager:
+        self.active_transaction = self.datasource.backend.begin_transaction()
+        return self.active_transaction
+
+
+class SqlCommand(Command):
+    """ICommand whose text is SQL executed by the backing server.
+
+    Results stream back through the channel, charging the bytes the
+    paper's cost model is designed to minimize.
+    """
+
+    def describe(self):
+        """Result schema without execution (bind-only on the backend)."""
+        backend = self.session.datasource.backend
+        describe_sql = getattr(backend, "describe_sql", None)
+        if describe_sql is None or self.text is None:
+            raise NotImplementedError
+        return describe_sql(self.text)
+
+    def _execute(self, text: str) -> Rowset:
+        backend = self.session.datasource.backend
+        txn = getattr(self.session, "active_transaction", None)
+        if txn is not None:
+            result = backend.execute_sql(text, txn=txn)
+        else:
+            result = backend.execute_sql(text)
+        channel = self.session.datasource.channel
+        if channel is LOCAL_CHANNEL:
+            return result
+        return Rowset(
+            result.schema, channel.stream_rows(result, result.schema)
+        )

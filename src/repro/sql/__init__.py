@@ -1,0 +1,15 @@
+"""SQL front end: lexer, AST, parser, and binder (algebrizer).
+
+The dialect is the T-SQL subset the paper exercises: SELECT with
+joins/grouping/ordering, four-part names over linked servers
+(Section 2.1), OPENROWSET/OPENQUERY/MakeTable table sources
+(Sections 2.2/2.4), CONTAINS full-text predicates (Section 2.3),
+INSERT/UPDATE/DELETE, and the DDL needed to build schemas, indexes,
+views (including partitioned views) and full-text catalogs.
+"""
+
+from repro.sql.lexer import Token, tokenize_sql
+from repro.sql.parser import parse_sql, parse_expression
+from repro.sql import ast
+
+__all__ = ["Token", "tokenize_sql", "parse_sql", "parse_expression", "ast"]

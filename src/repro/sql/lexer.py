@@ -1,0 +1,105 @@
+"""SQL lexer."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import LexerError
+
+KEYWORDS = frozenset(
+    """select from where group by having order asc desc top distinct as
+    inner left right outer cross join on and or not null is in exists
+    between like union all insert into values update set delete create
+    table view index unique primary key check constraint database drop
+    if contains freetext openrowset openquery maketable case when then
+    else end with schemabinding default references foreign explain""".split()
+)
+
+
+class Token:
+    __slots__ = ("kind", "value", "position")
+
+    KINDS = (
+        "keyword",
+        "identifier",
+        "number",
+        "string",
+        "operator",
+        "punct",
+        "parameter",
+        "eof",
+    )
+
+    def __init__(self, kind: str, value: str, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.value.lower() in {
+            w.lower() for w in words
+        }
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_PATTERNS = [
+    ("ws", re.compile(r"\s+")),
+    ("comment", re.compile(r"--[^\n]*")),
+    ("block_comment", re.compile(r"/\*.*?\*/", re.DOTALL)),
+    # windows-style paths may appear unquoted in MakeTable() per the paper
+    ("path", re.compile(r"[A-Za-z]:[\\/][^\s,()']*")),
+    ("number", re.compile(r"\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+|\d+(?:[eE][+-]?\d+)?")),
+    ("string", re.compile(r"'(?:[^']|'')*'")),
+    ("bracket_ident", re.compile(r"\[[^\]]*\]")),
+    ("quoted_ident", re.compile(r'"[^"]*"')),
+    ("parameter", re.compile(r"@[A-Za-z_][A-Za-z0-9_]*")),
+    ("identifier", re.compile(r"[A-Za-z_#][A-Za-z0-9_$#]*")),
+    ("operator", re.compile(r"<>|!=|<=|>=|=|<|>|\+|-|\*|/|%")),
+    ("punct", re.compile(r"[(),.;:]")),
+]
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`LexerError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        for kind, pattern in _PATTERNS:
+            match = pattern.match(text, position)
+            if match is None:
+                continue
+            lexeme = match.group()
+            if kind in ("ws", "comment", "block_comment"):
+                pass
+            elif kind == "number":
+                tokens.append(Token("number", lexeme, position))
+            elif kind == "string":
+                # undouble embedded quotes
+                inner = lexeme[1:-1].replace("''", "'")
+                tokens.append(Token("string", inner, position))
+            elif kind == "path":
+                tokens.append(Token("string", lexeme, position))
+            elif kind == "bracket_ident":
+                tokens.append(Token("identifier", lexeme[1:-1], position))
+            elif kind == "quoted_ident":
+                tokens.append(Token("identifier", lexeme[1:-1], position))
+            elif kind == "parameter":
+                tokens.append(Token("parameter", lexeme, position))
+            elif kind == "identifier":
+                token_kind = (
+                    "keyword" if lexeme.lower() in KEYWORDS else "identifier"
+                )
+                tokens.append(Token(token_kind, lexeme, position))
+            else:
+                tokens.append(Token(kind, lexeme, position))
+            position = match.end()
+            break
+        else:
+            raise LexerError(
+                f"unexpected character {text[position]!r}", position
+            )
+    tokens.append(Token("eof", "", length))
+    return tokens

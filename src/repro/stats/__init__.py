@@ -1,0 +1,29 @@
+"""Statistics: histograms and cardinality estimation.
+
+Section 3.2.4 of the paper: remote sources pass histograms and
+cardinality information through OLE DB (histogram rowsets and the
+TABLES_INFO schema rowset), which "commonly provides order of magnitude
+improvements on cardinality estimates".  This package implements the
+statistics objects themselves; the OLE DB layer exposes them and the
+optimizer consumes them.
+"""
+
+from repro.stats.histogram import Histogram, HistogramBucket
+from repro.stats.table_stats import ColumnStatistics, TableStatistics
+from repro.stats.estimator import (
+    DEFAULT_EQUALITY_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    estimate_comparison_selectivity,
+    estimate_join_selectivity,
+)
+
+__all__ = [
+    "Histogram",
+    "HistogramBucket",
+    "ColumnStatistics",
+    "TableStatistics",
+    "DEFAULT_EQUALITY_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+    "estimate_comparison_selectivity",
+    "estimate_join_selectivity",
+]

@@ -1,0 +1,99 @@
+"""Table- and column-level statistics objects.
+
+A :class:`TableStatistics` is what a provider exposes through the
+TABLES_INFO schema rowset (cardinality) plus per-column histogram
+rowsets (Section 3.2.4).  Local tables build these automatically;
+remote providers may or may not expose them — experiment E11 measures
+the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+from repro.stats.histogram import Histogram
+from repro.types.schema import Schema
+
+
+class ColumnStatistics:
+    """Statistics for one column: histogram + distinct/null counts."""
+
+    __slots__ = ("column_name", "histogram", "distinct_count", "null_count")
+
+    def __init__(
+        self,
+        column_name: str,
+        histogram: Optional[Histogram],
+        distinct_count: float,
+        null_count: float,
+    ):
+        self.column_name = column_name
+        self.histogram = histogram
+        self.distinct_count = max(1.0, float(distinct_count))
+        self.null_count = float(null_count)
+
+    @staticmethod
+    def build(column_name: str, values: Sequence[Any]) -> "ColumnStatistics":
+        histogram = Histogram.build(values)
+        seen = set()
+        nulls = 0
+        for v in values:
+            if v is None:
+                nulls += 1
+            else:
+                try:
+                    seen.add(v)
+                except TypeError:
+                    seen.add(repr(v))
+        return ColumnStatistics(column_name, histogram, len(seen), nulls)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnStatistics({self.column_name}: "
+            f"distinct={self.distinct_count:.0f}, nulls={self.null_count:.0f})"
+        )
+
+
+class TableStatistics:
+    """Cardinality + per-column statistics for one table."""
+
+    def __init__(
+        self,
+        row_count: float,
+        columns: Optional[Dict[str, ColumnStatistics]] = None,
+        avg_row_width: float = 64.0,
+    ):
+        self.row_count = float(row_count)
+        self.columns = dict(columns or {})
+        self.avg_row_width = float(avg_row_width)
+
+    @staticmethod
+    def build(
+        schema: Schema, rows: Iterable[tuple[Any, ...]]
+    ) -> "TableStatistics":
+        """Scan rows once and build full statistics for every column."""
+        materialized = list(rows)
+        column_values: list[list[Any]] = [[] for _ in schema]
+        width_total = 0
+        for row in materialized:
+            width_total += schema.row_width(row)
+            for i, value in enumerate(row):
+                column_values[i].append(value)
+        stats = {
+            column.name.lower(): ColumnStatistics.build(column.name, values)
+            for column, values in zip(schema, column_values)
+        }
+        avg_width = (
+            width_total / len(materialized) if materialized else schema.row_width()
+        )
+        return TableStatistics(len(materialized), stats, avg_width)
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        """Per-column statistics, case-insensitive lookup."""
+        return self.columns.get(name.lower())
+
+    def __repr__(self) -> str:
+        return (
+            f"TableStatistics(rows={self.row_count:.0f}, "
+            f"columns={sorted(self.columns)})"
+        )

@@ -1,0 +1,36 @@
+"""Local storage engine.
+
+Every server instance in the reproduction (the local engine of Figure 1
+and each simulated remote server) stores its data here: heap files
+addressed by row ids (which double as OLE DB *bookmarks*), B-tree
+indexes supporting seek/range (the ISAM navigation extension of
+Section 3.2.2), CHECK constraints (the basis of partitioned views,
+Section 4.1.5), and a catalog of databases/schemas/tables.
+"""
+
+from repro.storage.heap import Heap, RowId
+from repro.storage.btree import BTreeIndex, IndexMetadata
+from repro.storage.constraints import (
+    CheckConstraint,
+    NotNullConstraint,
+    UniqueConstraint,
+)
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog, Database, ViewDefinition
+from repro.storage.transactions import LocalTransaction, ResourceManager
+
+__all__ = [
+    "Heap",
+    "RowId",
+    "BTreeIndex",
+    "IndexMetadata",
+    "CheckConstraint",
+    "NotNullConstraint",
+    "UniqueConstraint",
+    "Table",
+    "Catalog",
+    "Database",
+    "ViewDefinition",
+    "LocalTransaction",
+    "ResourceManager",
+]

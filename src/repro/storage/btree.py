@@ -1,0 +1,155 @@
+"""B-tree-style ordered indexes.
+
+Implements the ISAM navigation surface of Section 3.2.2: "services such
+as query processors [can] efficiently access contiguous rows of data
+within a range of keys".  The index maps composite keys to bookmarks;
+lookups support exact seek, range scans with open/closed bounds, and
+full in-order scans.  The in-memory structure is a sorted entry list
+with binary search — the asymptotics (O(log n) seek, O(log n + k)
+range) match a disk B-tree, which is what the optimizer's cost model
+assumes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Sequence
+
+from repro.errors import ConstraintError
+from repro.storage.heap import RowId
+from repro.types.intervals import Interval, SortKey
+
+
+class IndexMetadata:
+    """Descriptor exposed through the INDEXES schema rowset."""
+
+    __slots__ = ("name", "table_name", "key_columns", "unique")
+
+    def __init__(
+        self,
+        name: str,
+        table_name: str,
+        key_columns: Sequence[str],
+        unique: bool = False,
+    ):
+        self.name = name
+        self.table_name = table_name
+        self.key_columns = tuple(key_columns)
+        self.unique = unique
+
+    def __repr__(self) -> str:
+        u = "UNIQUE " if self.unique else ""
+        return (
+            f"{u}INDEX {self.name} ON {self.table_name}"
+            f"({', '.join(self.key_columns)})"
+        )
+
+
+class BTreeIndex:
+    """An ordered index over one or more columns of a table."""
+
+    def __init__(self, metadata: IndexMetadata, key_ordinals: Sequence[int]):
+        self.metadata = metadata
+        self.key_ordinals = tuple(key_ordinals)
+        # parallel arrays: sort keys and their (raw key, bookmark) payloads
+        self._keys: list[tuple[SortKey, ...]] = []
+        self._entries: list[tuple[tuple[Any, ...], RowId]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- key extraction ---------------------------------------------------
+    def key_of(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Extract this index's key from a full table row."""
+        return tuple(row[i] for i in self.key_ordinals)
+
+    @staticmethod
+    def _sortable(key: tuple[Any, ...]) -> tuple[SortKey, ...]:
+        return tuple(SortKey(v) for v in key)
+
+    # -- maintenance -------------------------------------------------------
+    def insert(self, row: Sequence[Any], rid: RowId) -> None:
+        key = self.key_of(row)
+        skey = self._sortable(key)
+        pos = bisect.bisect_left(self._keys, skey)
+        if self.metadata.unique:
+            if (
+                pos < len(self._keys)
+                and self._keys[pos] == skey
+                and None not in key  # SQL: NULLs do not collide in unique idx
+            ):
+                raise ConstraintError(
+                    f"duplicate key {key!r} in unique index "
+                    f"{self.metadata.name}"
+                )
+        self._keys.insert(pos, skey)
+        self._entries.insert(pos, (key, rid))
+
+    def delete(self, row: Sequence[Any], rid: RowId) -> None:
+        key = self.key_of(row)
+        skey = self._sortable(key)
+        pos = bisect.bisect_left(self._keys, skey)
+        while pos < len(self._keys) and self._keys[pos] == skey:
+            if self._entries[pos][1] == rid:
+                del self._keys[pos]
+                del self._entries[pos]
+                return
+            pos += 1
+        raise ConstraintError(
+            f"index {self.metadata.name}: entry {key!r}->{rid} not found"
+        )
+
+    # -- navigation (IRowsetIndex surface) ---------------------------------
+    def seek(self, key: Sequence[Any]) -> Iterator[tuple[tuple[Any, ...], RowId]]:
+        """All entries exactly matching ``key`` (full or prefix)."""
+        prefix = tuple(key)
+        sprefix = self._sortable(prefix)
+        pos = bisect.bisect_left(self._keys, sprefix)
+        while pos < len(self._keys):
+            entry_key, rid = self._entries[pos]
+            if self._sortable(entry_key[: len(prefix)]) != sprefix:
+                break
+            yield entry_key, rid
+            pos += 1
+
+    def set_range(
+        self, interval: Interval, prefix: Sequence[Any] = ()
+    ) -> Iterator[tuple[tuple[Any, ...], RowId]]:
+        """Entries whose key component after ``prefix`` lies in ``interval``.
+
+        This is the ``SetRange`` operation of IRowsetIndex: position on
+        the lower bound and walk forward until the upper bound.
+        """
+        prefix = tuple(prefix)
+        depth = len(prefix)
+        lower = prefix + ((interval.low,) if not _is_inf(interval.low) else ())
+        pos = bisect.bisect_left(self._keys, self._sortable(lower))
+        while pos < len(self._keys):
+            entry_key, rid = self._entries[pos]
+            pos += 1
+            if self._sortable(entry_key[:depth]) != self._sortable(prefix):
+                break
+            component = entry_key[depth] if depth < len(entry_key) else None
+            if component is None:
+                continue  # NULLs never satisfy range predicates
+            if not interval.contains(component):
+                if SortKey(component) > SortKey(_upper_probe(interval)):
+                    break
+                continue
+            yield entry_key, rid
+
+    def scan(self) -> Iterator[tuple[tuple[Any, ...], RowId]]:
+        """Full scan in key order."""
+        yield from self._entries
+
+    def __repr__(self) -> str:
+        return f"BTreeIndex({self.metadata!r}, {len(self)} entries)"
+
+
+def _is_inf(value: Any) -> bool:
+    return value.__class__.__name__ == "_Infinity"
+
+
+def _upper_probe(interval: Interval) -> Any:
+    """A value at/above the interval's upper bound for early termination."""
+    return interval.high

@@ -1,0 +1,123 @@
+"""Local transactions and the resource-manager surface for MS DTC.
+
+The paper delegates cross-source atomicity to the Microsoft Distributed
+Transaction Coordinator (Section 2).  Our simulation gives each server
+instance undo-log-based local transactions that also implement the
+two-phase-commit :class:`ResourceManager` protocol consumed by
+:mod:`repro.dtc`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.errors import TransactionError
+
+
+class ResourceManager(Protocol):
+    """What the DTC requires of every transaction branch."""
+
+    def prepare(self) -> bool:
+        """Phase 1: vote. True = ready to commit durably."""
+        ...
+
+    def commit(self) -> None:
+        """Phase 2: make the branch's effects permanent."""
+        ...
+
+    def abort(self) -> None:
+        """Undo the branch's effects."""
+        ...
+
+
+class LocalTransaction:
+    """Undo-log transaction over one server's tables.
+
+    Records logical undo actions for every DML statement executed with
+    this transaction attached.  ``prepare`` validates the transaction
+    is still open (our in-memory storage cannot fail to persist, so a
+    live transaction always votes yes — but injectable failure hooks
+    let tests exercise abort paths).
+    """
+
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __init__(self, name: str = "txn"):
+        self.name = name
+        self.state = self.ACTIVE
+        self._undo: list[tuple[str, Any, Any, Any, Any]] = []
+        #: test hook: when True, prepare() votes no
+        self.fail_on_prepare = False
+
+    # -- undo recording (called by Table DML) ------------------------------
+    def record_insert(self, table: Any, rid: int, row: tuple[Any, ...]) -> None:
+        self._require_active()
+        self._undo.append(("insert", table, rid, row, None))
+
+    def record_delete(self, table: Any, rid: int, old: tuple[Any, ...]) -> None:
+        self._require_active()
+        self._undo.append(("delete", table, rid, old, None))
+
+    def record_update(
+        self, table: Any, rid: int, old: tuple[Any, ...], new: tuple[Any, ...]
+    ) -> None:
+        self._require_active()
+        self._undo.append(("update", table, rid, old, new))
+
+    def _require_active(self) -> None:
+        if self.state != self.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.name} is {self.state}, not active"
+            )
+
+    # -- ResourceManager protocol -------------------------------------------
+    def prepare(self) -> bool:
+        self._require_active()
+        if self.fail_on_prepare:
+            self.abort()
+            return False
+        self.state = self.PREPARED
+        return True
+
+    def commit(self) -> None:
+        if self.state not in (self.ACTIVE, self.PREPARED):
+            raise TransactionError(
+                f"cannot commit transaction in state {self.state}"
+            )
+        self._undo.clear()
+        self.state = self.COMMITTED
+
+    def abort(self) -> None:
+        if self.state in (self.COMMITTED,):
+            raise TransactionError("cannot abort a committed transaction")
+        # undo in reverse order; bypass table DML hooks to avoid re-logging
+        for action, table, rid, old, new in reversed(self._undo):
+            if action == "insert":
+                current = table.heap.fetch(rid)
+                for index in table.indexes.values():
+                    index.delete(current, rid)
+                table.heap.remove_last(rid)
+            elif action == "delete":
+                table.heap.undelete(rid, old)
+                for index in table.indexes.values():
+                    index.insert(old, rid)
+            elif action == "update":
+                current = table.heap.fetch(rid)
+                for index in table.indexes.values():
+                    index.delete(current, rid)
+                table.heap.update(rid, old)
+                for index in table.indexes.values():
+                    index.insert(old, rid)
+            table.invalidate_statistics()
+        self._undo.clear()
+        self.state = self.ABORTED
+
+    @property
+    def pending_actions(self) -> int:
+        return len(self._undo)
+
+    def __repr__(self) -> str:
+        return f"LocalTransaction({self.name}, {self.state})"

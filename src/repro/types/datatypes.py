@@ -1,0 +1,314 @@
+"""SQL datatypes.
+
+Each type knows how to validate/coerce Python values, render literals
+in SQL text (used by the decoder when building remote queries), and
+estimate its serialized width in bytes (used by the network cost
+model: the paper's remote cost model minimizes bytes over the wire,
+Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Optional
+
+from repro.errors import TypeCheckError
+
+
+class SqlType:
+    """Abstract base for SQL datatypes.
+
+    Concrete types are lightweight, immutable, and compared by value so
+    they can be shared freely between schemas.
+    """
+
+    #: short type-family name, e.g. ``"INT"``
+    name: str = "ANY"
+    #: does the family order/compare numerically?
+    numeric: bool = False
+
+    def validate(self, value: Any) -> Any:
+        """Coerce ``value`` into this type's canonical Python form.
+
+        ``None`` (SQL NULL) always passes through unchanged.  Raises
+        :class:`TypeCheckError` for values that cannot be represented.
+        """
+        if value is None:
+            return None
+        return self._coerce(value)
+
+    def _coerce(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def render_literal(self, value: Any) -> str:
+        """Render a value of this type as a SQL literal."""
+        if value is None:
+            return "NULL"
+        return self._render(value)
+
+    def _render(self, value: Any) -> str:
+        raise NotImplementedError
+
+    def byte_width(self, value: Any = None) -> int:
+        """Estimated serialized width in bytes (value-specific if given)."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(
+            other, "__dict__", None
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class IntType(SqlType):
+    """32-bit integer."""
+
+    name = "INT"
+    numeric = True
+
+    def _coerce(self, value: Any) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                raise TypeCheckError(f"cannot coerce {value!r} to INT") from None
+        raise TypeCheckError(f"cannot coerce {value!r} to INT")
+
+    def _render(self, value: Any) -> str:
+        return str(int(value))
+
+    def byte_width(self, value: Any = None) -> int:
+        return 4
+
+
+class BigIntType(IntType):
+    """64-bit integer."""
+
+    name = "BIGINT"
+
+    def byte_width(self, value: Any = None) -> int:
+        return 8
+
+
+class FloatType(SqlType):
+    """Double-precision float."""
+
+    name = "FLOAT"
+    numeric = True
+
+    def _coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                raise TypeCheckError(f"cannot coerce {value!r} to FLOAT") from None
+        raise TypeCheckError(f"cannot coerce {value!r} to FLOAT")
+
+    def _render(self, value: Any) -> str:
+        return repr(float(value))
+
+    def byte_width(self, value: Any = None) -> int:
+        return 8
+
+
+class BoolType(SqlType):
+    """SQL Server BIT; rendered as 0/1."""
+
+    name = "BIT"
+
+    def _coerce(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise TypeCheckError(f"cannot coerce {value!r} to BIT")
+
+    def _render(self, value: Any) -> str:
+        return "1" if value else "0"
+
+    def byte_width(self, value: Any = None) -> int:
+        return 1
+
+
+class VarcharType(SqlType):
+    """Variable-length string with an optional maximum length."""
+
+    name = "VARCHAR"
+
+    def __init__(self, max_length: Optional[int] = None):
+        self.max_length = max_length
+
+    def _coerce(self, value: Any) -> str:
+        if isinstance(value, str):
+            text = value
+        elif isinstance(value, (int, float)):
+            text = str(value)
+        else:
+            raise TypeCheckError(f"cannot coerce {value!r} to VARCHAR")
+        if self.max_length is not None and len(text) > self.max_length:
+            raise TypeCheckError(
+                f"string of length {len(text)} exceeds VARCHAR({self.max_length})"
+            )
+        return text
+
+    def _render(self, value: Any) -> str:
+        escaped = str(value).replace("'", "''")
+        return f"'{escaped}'"
+
+    def byte_width(self, value: Any = None) -> int:
+        if value is not None:
+            return len(str(value)) + 2
+        if self.max_length is not None:
+            # assume half-full on average
+            return max(2, self.max_length // 2)
+        return 32
+
+    def __repr__(self) -> str:
+        if self.max_length is None:
+            return "VARCHAR"
+        return f"VARCHAR({self.max_length})"
+
+
+class DateType(SqlType):
+    """Calendar date."""
+
+    name = "DATE"
+    numeric = False
+
+    def _coerce(self, value: Any) -> _dt.date:
+        if isinstance(value, _dt.datetime):
+            return value.date()
+        if isinstance(value, _dt.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return _dt.date.fromisoformat(value)
+            except ValueError:
+                pass
+            parsed = _loose_date(value)
+            if parsed is not None:
+                return parsed
+            raise TypeCheckError(f"cannot coerce {value!r} to DATE")
+        raise TypeCheckError(f"cannot coerce {value!r} to DATE")
+
+    def _render(self, value: Any) -> str:
+        return f"'{value.isoformat()}'"
+
+    def byte_width(self, value: Any = None) -> int:
+        return 4
+
+
+class DateTimeType(SqlType):
+    """Timestamp with second resolution."""
+
+    name = "DATETIME"
+    numeric = False
+
+    def _coerce(self, value: Any) -> _dt.datetime:
+        if isinstance(value, _dt.datetime):
+            return value
+        if isinstance(value, _dt.date):
+            return _dt.datetime(value.year, value.month, value.day)
+        if isinstance(value, str):
+            try:
+                return _dt.datetime.fromisoformat(value)
+            except ValueError:
+                pass
+            parsed = _loose_date(value)
+            if parsed is not None:
+                return _dt.datetime(parsed.year, parsed.month, parsed.day)
+            raise TypeCheckError(f"cannot coerce {value!r} to DATETIME")
+        raise TypeCheckError(f"cannot coerce {value!r} to DATETIME")
+
+    def _render(self, value: Any) -> str:
+        return f"'{value.isoformat(sep=' ')}'"
+
+    def byte_width(self, value: Any = None) -> int:
+        return 8
+
+
+def _loose_date(text: str) -> Optional[_dt.date]:
+    """SQL-Serverish loose dates: '1992-1-1' parses like '1992-01-01'."""
+    parts = text.split("-")
+    if len(parts) == 3:
+        try:
+            return _dt.date(int(parts[0]), int(parts[1]), int(parts[2]))
+        except (ValueError, TypeError):
+            return None
+    return None
+
+
+# Shared singleton instances; VARCHAR is parameterized via ``varchar()``.
+INT = IntType()
+BIGINT = BigIntType()
+FLOAT = FloatType()
+BOOL = BoolType()
+DATE = DateType()
+DATETIME = DateTimeType()
+
+
+def varchar(max_length: Optional[int] = None) -> VarcharType:
+    """Construct a VARCHAR type with an optional maximum length."""
+    return VarcharType(max_length)
+
+
+def infer_type(value: Any) -> SqlType:
+    """Infer the narrowest SqlType for a Python value (NULL → VARCHAR)."""
+    if value is None:
+        return varchar()
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT if -(2**31) <= value < 2**31 else BIGINT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, _dt.datetime):
+        return DATETIME
+    if isinstance(value, _dt.date):
+        return DATE
+    if isinstance(value, str):
+        return varchar()
+    raise TypeCheckError(f"cannot infer SQL type for {value!r}")
+
+
+_NUMERIC_ORDER = ("BIT", "INT", "BIGINT", "FLOAT")
+
+
+def common_super_type(a: SqlType, b: SqlType) -> SqlType:
+    """The narrowest type both ``a`` and ``b`` coerce into.
+
+    Used when typing comparison/arithmetic expressions and when merging
+    branches of a partitioned view (Section 4.1.5).
+    """
+    if a == b:
+        return a
+    if a.name in _NUMERIC_ORDER and b.name in _NUMERIC_ORDER:
+        rank = max(_NUMERIC_ORDER.index(a.name), _NUMERIC_ORDER.index(b.name))
+        return {"BIT": BOOL, "INT": INT, "BIGINT": BIGINT, "FLOAT": FLOAT}[
+            _NUMERIC_ORDER[rank]
+        ]
+    if {a.name, b.name} == {"DATE", "DATETIME"}:
+        return DATETIME
+    if isinstance(a, VarcharType) and isinstance(b, VarcharType):
+        if a.max_length is None or b.max_length is None:
+            return varchar()
+        return varchar(max(a.max_length, b.max_length))
+    if isinstance(a, VarcharType) or isinstance(b, VarcharType):
+        # strings dominate: mixed-type unions degrade to text
+        return varchar()
+    raise TypeCheckError(f"no common super type for {a!r} and {b!r}")

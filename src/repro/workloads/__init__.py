@@ -1,0 +1,30 @@
+"""Workload generators used by examples, tests, and benchmarks.
+
+* :mod:`tpch` — TPC-H-lite: the customer/supplier/nation/orders/
+  lineitem subset the paper's Example 1 and partitioned-view discussion
+  use, at row-count scale factors a laptop handles.
+* :mod:`tpcc` — TPC-C-lite: warehouses/districts/customers/orders plus
+  a new-order transaction driver for the federation scaling experiment
+  (Section 4.1.5's federated TPC-C claim).
+* :mod:`mailgen` — synthetic mailbox files for the Section 2.4 scenario.
+* :mod:`docgen` — synthetic document corpora for the Section 2.2
+  full-text scenario.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.workloads.tpch import TpchData, generate_tpch, load_tpch
+from repro.workloads.tpcc import TpccFederation, build_federation, new_order
+from repro.workloads.mailgen import generate_mailbox
+from repro.workloads.docgen import generate_corpus
+
+__all__ = [
+    "TpchData",
+    "generate_tpch",
+    "load_tpch",
+    "TpccFederation",
+    "build_federation",
+    "new_order",
+    "generate_mailbox",
+    "generate_corpus",
+]

@@ -1,0 +1,71 @@
+"""Synthetic document corpus generator (Section 2.2's scenario data).
+
+Produces a {path: content} directory snapshot mixing formats the
+built-in IFilters handle (.txt, .html, .doc) plus some they do not
+(.pdf, .zip — skipped exactly as the real service skips formats with no
+installed IFilter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+_TOPIC_SENTENCES = {
+    "parallel": [
+        "parallel database systems partition data across nodes",
+        "shared nothing parallel architectures scale linearly",
+        "parallel query execution overlaps scan and join work",
+    ],
+    "heterogeneous": [
+        "heterogeneous query processing federates diverse sources",
+        "a heterogeneous system integrates relational and file data",
+        "wrappers expose heterogeneous capabilities to the optimizer",
+    ],
+    "fulltext": [
+        "full text indexes support phrase and proximity search",
+        "inverted indexes map stems to document postings",
+        "ranking orders matches by relevance scores",
+    ],
+    "filler": [
+        "quarterly planning documents are due friday",
+        "the cafeteria menu changes seasonally",
+        "remember to submit expense reports on time",
+        "the annual picnic was well attended",
+    ],
+}
+
+
+def generate_corpus(
+    document_count: int = 60,
+    topic_mix: Dict[str, float] | None = None,
+    seed: int = 123,
+) -> Dict[str, str]:
+    """A directory snapshot of synthetic documents."""
+    rng = random.Random(seed)
+    topic_mix = topic_mix or {
+        "parallel": 0.2,
+        "heterogeneous": 0.2,
+        "fulltext": 0.15,
+        "filler": 0.45,
+    }
+    topics = list(topic_mix)
+    weights = [topic_mix[t] for t in topics]
+    corpus: Dict[str, str] = {}
+    for index in range(document_count):
+        topic = rng.choices(topics, weights)[0]
+        sentences = rng.choices(_TOPIC_SENTENCES[topic], k=rng.randint(2, 6))
+        extension = rng.choice([".txt", ".txt", ".html", ".doc", ".pdf"])
+        path = f"d:\\docs\\{topic}_{index:04d}{extension}"
+        body = ". ".join(sentences)
+        if extension == ".html":
+            content = (
+                f"<html><title>{topic} {index}</title>"
+                f"<body><p>{body}</p></body></html>"
+            )
+        elif extension == ".doc":
+            content = f"FIELD|author|author{index % 9}\nBODY|{body}"
+        else:
+            content = body
+        corpus[path] = content
+    return corpus

@@ -1,0 +1,83 @@
+"""Synthetic mailbox generator (Section 2.4's scenario data)."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from typing import Optional, Sequence
+
+from repro.providers.email import MailFile, MailMessage
+
+_SUBJECTS = [
+    "order status", "quote request", "meeting notes", "invoice",
+    "delivery window", "renewal", "support question", "thanks",
+]
+_BODIES = [
+    "please confirm the order for next week",
+    "can you send the latest quote",
+    "attached are the meeting notes from tuesday",
+    "the invoice total looks wrong",
+    "what is the delivery window for SKU-1182",
+]
+
+
+def generate_mailbox(
+    path: str = "d:\\mail\\smith.mmf",
+    message_count: int = 100,
+    senders: Optional[Sequence[str]] = None,
+    reply_fraction: float = 0.4,
+    today: _dt.datetime = _dt.datetime(2004, 6, 15, 9, 0),
+    seed: int = 99,
+) -> MailFile:
+    """A mailbox with a mix of recent/old messages, some answered.
+
+    ``reply_fraction`` of incoming messages get a reply authored by the
+    mailbox owner (so NOT EXISTS(... InReplyTo ...) has real work).
+    """
+    rng = random.Random(seed)
+    senders = list(
+        senders
+        or [f"user{i}@customer{i % 7}.example" for i in range(12)]
+    )
+    mailbox = MailFile(path)
+    message_id = 0
+    for __ in range(message_count):
+        message_id += 1
+        age_days = rng.uniform(0, 14)
+        date = today - _dt.timedelta(days=age_days)
+        sender = rng.choice(senders)
+        extras = {}
+        attachments = []
+        if rng.random() < 0.2:
+            extras["Location"] = f"Room {rng.randint(1, 40)}"
+        if rng.random() < 0.3:
+            attachments.append(
+                (f"doc{message_id}.doc", rng.randint(1024, 99999))
+            )
+        mailbox.add(
+            MailMessage(
+                message_id,
+                sender,
+                "smith@corp.example",
+                rng.choice(_SUBJECTS),
+                date,
+                body=rng.choice(_BODIES),
+                extras=extras,
+                attachments=attachments,
+            )
+        )
+        if rng.random() < reply_fraction:
+            reply_to = message_id
+            message_id += 1
+            mailbox.add(
+                MailMessage(
+                    message_id,
+                    "smith@corp.example",
+                    sender,
+                    "re: " + mailbox.messages[-1].subject,
+                    date + _dt.timedelta(hours=rng.uniform(1, 20)),
+                    in_reply_to=reply_to,
+                    body="replying to your message",
+                )
+            )
+    return mailbox

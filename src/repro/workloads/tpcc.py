@@ -1,0 +1,151 @@
+"""TPC-C-lite for the federation scaling experiment.
+
+Section 4.1.5: "SQL Server announced this technology in February 2000
+by publishing the world record TPCC benchmark using a federation of 32
+Microsoft SQL Server instances."  We reproduce the *shape* of that
+result: customers horizontally partitioned by warehouse across N
+simulated server instances behind a distributed partitioned view, with
+a new-order transaction driver.  Throughput should scale near-linearly
+with member count because startup filters route each transaction to a
+single member.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine import ServerInstance
+from repro.network.channel import NetworkChannel
+
+
+class TpccFederation:
+    """A federation of server instances plus the coordinating engine."""
+
+    def __init__(
+        self,
+        coordinator: ServerInstance,
+        members: list[ServerInstance],
+        warehouses_per_member: int,
+        customers_per_warehouse: int,
+    ):
+        self.coordinator = coordinator
+        self.members = members
+        self.warehouses_per_member = warehouses_per_member
+        self.customers_per_warehouse = customers_per_warehouse
+        self._next_order_key = 1
+
+    @property
+    def warehouse_count(self) -> int:
+        return self.warehouses_per_member * len(self.members)
+
+
+def build_federation(
+    member_count: int = 2,
+    warehouses_per_member: int = 2,
+    customers_per_warehouse: int = 50,
+    latency_ms: float = 0.5,
+    seed: int = 7,
+) -> TpccFederation:
+    """Build an N-member federation with customer/orders partitioned by
+    warehouse id."""
+    rng = random.Random(seed)
+    coordinator = ServerInstance("tpcc-coordinator")
+    members: list[ServerInstance] = []
+    customer_branches = []
+    order_branches = []
+    for member_index in range(member_count):
+        member = ServerInstance(f"fed{member_index}")
+        low = member_index * warehouses_per_member + 1
+        high = low + warehouses_per_member - 1
+        member.execute(
+            f"CREATE TABLE customer_{member_index} ("
+            f"c_w_id int NOT NULL CHECK (c_w_id >= {low} AND c_w_id <= {high}), "
+            "c_id int, c_name varchar(25), c_balance float)"
+        )
+        member.execute(
+            f"CREATE INDEX ix_cust_{member_index} "
+            f"ON customer_{member_index} (c_w_id)"
+        )
+        member.execute(
+            f"CREATE TABLE orders_{member_index} ("
+            f"o_w_id int NOT NULL CHECK (o_w_id >= {low} AND o_w_id <= {high}), "
+            "o_id int, o_c_id int, o_amount float)"
+        )
+        customer_table = member.catalog.database().table(
+            f"customer_{member_index}"
+        )
+        for warehouse in range(low, high + 1):
+            for customer_id in range(1, customers_per_warehouse + 1):
+                customer_table.insert(
+                    (
+                        warehouse,
+                        customer_id,
+                        f"Cust-{warehouse}-{customer_id}",
+                        round(rng.uniform(0, 5000), 2),
+                    )
+                )
+        coordinator.add_linked_server(
+            f"fed{member_index}",
+            member,
+            NetworkChannel(f"fed{member_index}", latency_ms=latency_ms),
+        )
+        customer_branches.append(
+            f"SELECT * FROM fed{member_index}.master.dbo.customer_{member_index}"
+        )
+        order_branches.append(
+            f"SELECT * FROM fed{member_index}.master.dbo.orders_{member_index}"
+        )
+        members.append(member)
+    coordinator.execute(
+        "CREATE VIEW customer AS " + " UNION ALL ".join(customer_branches)
+    )
+    coordinator.execute(
+        "CREATE VIEW orders AS " + " UNION ALL ".join(order_branches)
+    )
+    return TpccFederation(
+        coordinator, members, warehouses_per_member, customers_per_warehouse
+    )
+
+
+def new_order(
+    federation: TpccFederation,
+    warehouse_id: int,
+    customer_id: int,
+    amount: float,
+) -> int:
+    """One new-order transaction: read the customer through the
+    partitioned view (startup filters route to one member), then insert
+    the order through the view (DTC-coordinated)."""
+    coordinator = federation.coordinator
+    result = coordinator.execute(
+        "SELECT c_name, c_balance FROM customer "
+        "WHERE c_w_id = @w AND c_id = @c",
+        params={"w": warehouse_id, "c": customer_id},
+    )
+    if not result.rows:
+        raise LookupError(
+            f"customer ({warehouse_id}, {customer_id}) not found"
+        )
+    order_key = federation._next_order_key
+    federation._next_order_key += 1
+    coordinator.execute(
+        f"INSERT INTO orders VALUES ({warehouse_id}, {order_key}, "
+        f"{customer_id}, {amount})"
+    )
+    return order_key
+
+
+def run_new_orders(
+    federation: TpccFederation, count: int, seed: int = 13
+) -> int:
+    """Drive ``count`` uniformly distributed new-order transactions;
+    returns the number committed."""
+    rng = random.Random(seed)
+    committed = 0
+    for __ in range(count):
+        warehouse_id = rng.randint(1, federation.warehouse_count)
+        customer_id = rng.randint(1, federation.customers_per_warehouse)
+        new_order(federation, warehouse_id, customer_id,
+                  round(rng.uniform(10, 500), 2))
+        committed += 1
+    return committed

@@ -1,0 +1,168 @@
+"""TPC-H-lite generator.
+
+Schema and value distributions follow TPC-H's shape (25 nations, 5
+regions, customers/suppliers keyed to nations, orders per customer,
+lineitems per order with commit dates spread over 1992–1998); the scale
+factor counts rows, not gigabytes — Figure 4's plan choice depends only
+on *relative* cardinalities, which survive downscaling.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from typing import Any, Dict, Optional
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+
+
+class TpchData:
+    """Generated rows per table (plain tuples)."""
+
+    def __init__(self) -> None:
+        self.region: list[tuple] = []
+        self.nation: list[tuple] = []
+        self.customer: list[tuple] = []
+        self.supplier: list[tuple] = []
+        self.orders: list[tuple] = []
+        self.lineitem: list[tuple] = []
+
+    def table_rows(self) -> Dict[str, list[tuple]]:
+        return {
+            "region": self.region,
+            "nation": self.nation,
+            "customer": self.customer,
+            "supplier": self.supplier,
+            "orders": self.orders,
+            "lineitem": self.lineitem,
+        }
+
+
+#: CREATE TABLE statements, keyed by table name
+TPCH_DDL: Dict[str, str] = {
+    "region": (
+        "CREATE TABLE region (r_regionkey int PRIMARY KEY, "
+        "r_name varchar(25))"
+    ),
+    "nation": (
+        "CREATE TABLE nation (n_nationkey int PRIMARY KEY, "
+        "n_name varchar(25), n_regionkey int)"
+    ),
+    "customer": (
+        "CREATE TABLE customer (c_custkey int PRIMARY KEY, "
+        "c_name varchar(25), c_address varchar(40), c_nationkey int, "
+        "c_phone varchar(15), c_acctbal float, c_mktsegment varchar(10))"
+    ),
+    "supplier": (
+        "CREATE TABLE supplier (s_suppkey int PRIMARY KEY, "
+        "s_name varchar(25), s_address varchar(40), s_nationkey int, "
+        "s_acctbal float)"
+    ),
+    "orders": (
+        "CREATE TABLE orders (o_orderkey int PRIMARY KEY, o_custkey int, "
+        "o_orderstatus varchar(1), o_totalprice float, o_orderdate date)"
+    ),
+    "lineitem": (
+        "CREATE TABLE lineitem (l_orderkey int, l_linenumber int, "
+        "l_suppkey int, l_quantity int, l_extendedprice float, "
+        "l_commitdate date)"
+    ),
+}
+
+
+def generate_tpch(
+    customers: int = 1000,
+    suppliers: int = 100,
+    orders_per_customer: int = 2,
+    lineitems_per_order: int = 3,
+    seed: int = 42,
+) -> TpchData:
+    """Generate a deterministic TPC-H-lite dataset."""
+    rng = random.Random(seed)
+    data = TpchData()
+    for key, name in enumerate(REGION_NAMES):
+        data.region.append((key, name))
+    for key, name in enumerate(NATION_NAMES):
+        data.nation.append((key, name, key % len(REGION_NAMES)))
+    for key in range(1, customers + 1):
+        data.customer.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                f"{rng.randint(1, 999)} Main St Apt {key % 50}",
+                rng.randrange(len(NATION_NAMES)),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(SEGMENTS),
+            )
+        )
+    for key in range(1, suppliers + 1):
+        data.supplier.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                f"{rng.randint(1, 999)} Dock Rd",
+                rng.randrange(len(NATION_NAMES)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+        )
+    order_key = 0
+    for customer_key in range(1, customers + 1):
+        for __ in range(orders_per_customer):
+            order_key += 1
+            order_date = _dt.date(1992, 1, 1) + _dt.timedelta(
+                days=rng.randrange(0, 2400)
+            )
+            data.orders.append(
+                (
+                    order_key,
+                    customer_key,
+                    rng.choice("OFP"),
+                    round(rng.uniform(100.0, 100000.0), 2),
+                    order_date,
+                )
+            )
+            for line_number in range(1, lineitems_per_order + 1):
+                commit_date = order_date + _dt.timedelta(
+                    days=rng.randrange(1, 120)
+                )
+                data.lineitem.append(
+                    (
+                        order_key,
+                        line_number,
+                        rng.randint(1, max(1, suppliers)),
+                        rng.randint(1, 50),
+                        round(rng.uniform(10.0, 9000.0), 2),
+                        commit_date,
+                    )
+                )
+    return data
+
+
+def load_tpch(
+    engine: Any,
+    data: Optional[TpchData] = None,
+    tables: Optional[list[str]] = None,
+    **generate_kwargs: Any,
+) -> TpchData:
+    """Create the TPC-H-lite tables on ``engine`` and bulk-load them.
+
+    ``tables`` restricts which tables land on this server — the
+    distributed experiments spread tables across instances.
+    """
+    data = data or generate_tpch(**generate_kwargs)
+    wanted = tables if tables is not None else list(TPCH_DDL)
+    for table_name in wanted:
+        engine.execute(TPCH_DDL[table_name])
+        table = engine.catalog.database().table(table_name)
+        for row in data.table_rows()[table_name]:
+            table.insert(row)
+    return data

@@ -1,0 +1,145 @@
+"""Distributed analytic queries over TPC-H-lite, validated against
+plain-Python models — broader coverage than the paper's Example 1."""
+
+import pytest
+
+from repro import Engine, NetworkChannel, ServerInstance
+from repro.core import physical as P
+from repro.workloads import generate_tpch, load_tpch
+
+
+@pytest.fixture(scope="module")
+def world():
+    """customer/orders/lineitem remote; nation/region/supplier local."""
+    local = Engine("local")
+    remote = ServerInstance("dw")
+    data = generate_tpch(
+        customers=200, suppliers=30, orders_per_customer=2,
+        lineitems_per_order=2, seed=77,
+    )
+    load_tpch(remote, data=data, tables=["customer", "orders", "lineitem"])
+    load_tpch(local, data=data, tables=["nation", "region", "supplier"])
+    channel = NetworkChannel("wan", latency_ms=1.5, mb_per_second=20)
+    local.add_linked_server("dw", remote, channel)
+    return local, data, channel
+
+
+class TestAnalyticQueries:
+    def test_revenue_by_nation(self, world):
+        """A TPC-H Q5-ish rollup across the server boundary."""
+        local, data, __ = world
+        r = local.execute(
+            "SELECT n.n_name, SUM(o.o_totalprice) AS revenue "
+            "FROM dw.master.dbo.customer c, dw.master.dbo.orders o, nation n "
+            "WHERE o.o_custkey = c.c_custkey "
+            "AND c.c_nationkey = n.n_nationkey "
+            "GROUP BY n.n_name ORDER BY n.n_name"
+        )
+        # python model
+        nation_by_key = {n[0]: n[1] for n in data.nation}
+        cust_nation = {c[0]: nation_by_key[c[3]] for c in data.customer}
+        expected: dict = {}
+        for o in data.orders:
+            name = cust_nation[o[1]]
+            expected[name] = expected.get(name, 0.0) + o[3]
+        got = {name: total for name, total in r.rows}
+        assert set(got) == set(expected)
+        for name in expected:
+            assert got[name] == pytest.approx(expected[name], rel=1e-9)
+
+    def test_top_customers_by_spend(self, world):
+        local, data, __ = world
+        r = local.execute(
+            "SELECT TOP 5 c.c_name, SUM(o.o_totalprice) AS spend "
+            "FROM dw.master.dbo.customer c, dw.master.dbo.orders o "
+            "WHERE o.o_custkey = c.c_custkey "
+            "GROUP BY c.c_name ORDER BY spend DESC"
+        )
+        spend: dict = {}
+        name_by_key = {c[0]: c[1] for c in data.customer}
+        for o in data.orders:
+            name = name_by_key[o[1]]
+            spend[name] = spend.get(name, 0.0) + o[3]
+        expected = sorted(spend.items(), key=lambda kv: -kv[1])[:5]
+        assert [name for name, __ in r.rows] == [n for n, __ in expected]
+
+    def test_orders_in_date_range(self, world):
+        local, data, __ = world
+        r = local.execute(
+            "SELECT COUNT(*) FROM dw.master.dbo.orders o "
+            "WHERE o.o_orderdate >= '1995-01-01' "
+            "AND o.o_orderdate < '1996-01-01'"
+        )
+        import datetime as dt
+
+        expected = sum(
+            1
+            for o in data.orders
+            if dt.date(1995, 1, 1) <= o[4] < dt.date(1996, 1, 1)
+        )
+        assert r.scalar() == expected
+
+    def test_remote_order_by_top_pushed(self, world):
+        """ORDER BY + TOP over a single remote table ship as one query."""
+        local, data, __ = world
+        r = local.execute(
+            "SELECT TOP 3 o.o_orderkey, o.o_totalprice "
+            "FROM dw.master.dbo.orders o ORDER BY o.o_totalprice DESC"
+        )
+        expected = sorted(data.orders, key=lambda o: -o[3])[:3]
+        assert [row[0] for row in r.rows] == [o[0] for o in expected]
+        remote_queries = [
+            n for n in r.plan.walk() if isinstance(n, P.RemoteQuery)
+        ]
+        assert remote_queries
+        assert "ORDER BY" in remote_queries[0].sql_text
+        assert "TOP 3" in remote_queries[0].sql_text
+
+    def test_in_list_and_like_pushdown(self, world):
+        local, data, __ = world
+        r = local.execute(
+            "SELECT c.c_custkey FROM dw.master.dbo.customer c "
+            "WHERE c.c_custkey IN (3, 5, 7) AND c.c_name LIKE 'Customer%'"
+        )
+        assert sorted(row[0] for row in r.rows) == [3, 5, 7]
+        remote_queries = [
+            n for n in r.plan.walk() if isinstance(n, P.RemoteQuery)
+        ]
+        assert remote_queries
+        assert "IN" in remote_queries[0].sql_text
+        assert "LIKE" in remote_queries[0].sql_text
+
+    def test_mixed_local_remote_semi_join(self, world):
+        """Customers in nations that have a local supplier."""
+        local, data, __ = world
+        r = local.execute(
+            "SELECT COUNT(*) FROM dw.master.dbo.customer c "
+            "WHERE EXISTS (SELECT * FROM supplier s "
+            "WHERE s.s_nationkey = c.c_nationkey)"
+        )
+        supplier_nations = {s[3] for s in data.supplier}
+        expected = sum(
+            1 for c in data.customer if c[3] in supplier_nations
+        )
+        assert r.scalar() == expected
+
+    def test_three_way_remote_plus_local_consistency(self, world):
+        """The same query with remote features off returns identically."""
+        from repro import OptimizerOptions
+
+        local, __, __c = world
+        sql = (
+            "SELECT n.n_name, COUNT(*) FROM dw.master.dbo.customer c, "
+            "dw.master.dbo.orders o, nation n "
+            "WHERE o.o_custkey = c.c_custkey "
+            "AND c.c_nationkey = n.n_nationkey "
+            "GROUP BY n.n_name ORDER BY n.n_name"
+        )
+        baseline = local.execute(sql).rows
+        local.optimizer.options = OptimizerOptions(
+            enable_remote_query=False, enable_parameterization=False
+        )
+        try:
+            assert local.execute(sql).rows == baseline
+        finally:
+            local.optimizer.options = OptimizerOptions()

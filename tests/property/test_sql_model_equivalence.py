@@ -1,0 +1,196 @@
+"""Property-based equivalence: the engine against a naive Python model.
+
+Hypothesis generates random tables and random predicates; the engine's
+answers must match a straightforward Python evaluation.  A second suite
+checks *plan invariance*: toggling optimizer features or moving a table
+behind a linked server must never change query results (the central
+correctness obligation of a cost-based distributed optimizer).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Engine, NetworkChannel, OptimizerOptions, ServerInstance
+
+# -- random data ---------------------------------------------------------
+
+_value = st.one_of(st.integers(-20, 20), st.none())
+_row = st.tuples(_value, _value)
+_rows = st.lists(_row, min_size=0, max_size=25)
+_op = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+_probe = st.integers(-20, 20)
+
+
+def _build_engine(rows):
+    engine = Engine("prop")
+    engine.execute("CREATE TABLE t (a int, b int)")
+    table = engine.catalog.database().table("t")
+    for row in rows:
+        table.insert(row)
+    return engine
+
+
+def _python_compare(op, left, right):
+    if left is None or right is None:
+        return False
+    return {
+        "=": left == right,
+        "<>": left != right,
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }[op]
+
+
+class TestFilterEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(_rows, _op, _probe)
+    def test_single_predicate(self, rows, op, probe):
+        engine = _build_engine(rows)
+        got = sorted(
+            engine.execute(f"SELECT a, b FROM t WHERE a {op} {probe}").rows,
+            key=repr,
+        )
+        expected = sorted(
+            (r for r in rows if _python_compare(op, r[0], probe)), key=repr
+        )
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(_rows, _probe, _probe)
+    def test_conjunction(self, rows, lo, hi):
+        engine = _build_engine(rows)
+        got = sorted(
+            engine.execute(
+                f"SELECT a FROM t WHERE a >= {lo} AND a <= {hi}"
+            ).rows,
+            key=repr,
+        )
+        expected = sorted(
+            ((r[0],) for r in rows
+             if r[0] is not None and lo <= r[0] <= hi),
+            key=repr,
+        )
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(_rows, _probe)
+    def test_disjunction(self, rows, probe):
+        engine = _build_engine(rows)
+        got = sorted(
+            engine.execute(
+                f"SELECT b FROM t WHERE a = {probe} OR b = {probe}"
+            ).rows,
+            key=repr,
+        )
+        expected = sorted(
+            ((r[1],) for r in rows
+             if (r[0] == probe if r[0] is not None else False)
+             or (r[1] == probe if r[1] is not None else False)),
+            key=repr,
+        )
+        assert got == expected
+
+
+class TestAggregateEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(_rows)
+    def test_group_by_count(self, rows):
+        engine = _build_engine(rows)
+        got = dict(
+            engine.execute(
+                "SELECT a, COUNT(*) FROM t GROUP BY a"
+            ).rows
+        )
+        expected: dict = {}
+        for a, __ in rows:
+            expected[a] = expected.get(a, 0) + 1
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(_rows)
+    def test_sum_ignores_nulls(self, rows):
+        engine = _build_engine(rows)
+        got = engine.execute("SELECT SUM(b) FROM t").scalar()
+        non_null = [r[1] for r in rows if r[1] is not None]
+        assert got == (sum(non_null) if non_null else None)
+
+
+class TestJoinEquivalence:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_rows, _rows)
+    def test_equi_join(self, left_rows, right_rows):
+        engine = Engine("prop")
+        engine.execute("CREATE TABLE l (a int, b int)")
+        engine.execute("CREATE TABLE r (a int, b int)")
+        lt = engine.catalog.database().table("l")
+        rt = engine.catalog.database().table("r")
+        for row in left_rows:
+            lt.insert(row)
+        for row in right_rows:
+            rt.insert(row)
+        got = sorted(
+            engine.execute(
+                "SELECT l.b, r.b FROM l, r WHERE l.a = r.a"
+            ).rows,
+            key=repr,
+        )
+        expected = sorted(
+            (
+                (lb, rb)
+                for la, lb in left_rows
+                for ra, rb in right_rows
+                if la is not None and la == ra
+            ),
+            key=repr,
+        )
+        assert got == expected
+
+
+class TestPlanInvariance:
+    """Moving data behind a linked server or flipping optimizer options
+    must never change answers."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_rows, _op, _probe)
+    def test_local_vs_remote_equivalence(self, rows, op, probe):
+        local_engine = _build_engine(rows)
+        baseline = sorted(
+            local_engine.execute(
+                f"SELECT a, b FROM t WHERE a {op} {probe}"
+            ).rows,
+            key=repr,
+        )
+        front = Engine("front")
+        remote = _build_engine(rows)
+        front.add_linked_server(
+            "r1", remote, NetworkChannel("c", latency_ms=0.1)
+        )
+        got = sorted(
+            front.execute(
+                f"SELECT t.a, t.b FROM r1.master.dbo.t t WHERE t.a {op} {probe}"
+            ).rows,
+            key=repr,
+        )
+        assert got == baseline
+
+    @settings(max_examples=15, deadline=None)
+    @given(_rows, _probe)
+    def test_phase_limit_invariance(self, rows, probe):
+        engine = _build_engine(rows)
+        sql = f"SELECT a FROM t WHERE a <= {probe} ORDER BY a"
+        baseline = engine.execute(sql).rows
+        engine.optimizer.options.max_phase = 0
+        assert engine.execute(sql).rows == baseline

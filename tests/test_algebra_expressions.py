@@ -1,0 +1,170 @@
+"""Unit tests for the scalar expression IR: compile semantics,
+substitution, structural identity."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    ContainsPredicate,
+    FuncCall,
+    InListOp,
+    IsNullOp,
+    LikeOp,
+    Literal,
+    NotOp,
+    Parameter,
+    conjoin,
+    conjuncts,
+    register_scalar_function,
+    scalar_function_names,
+)
+from repro.errors import ExecutionError, OptimizerError
+from repro.types.datatypes import BOOL, INT
+
+
+def col(cid, name="c"):
+    return ColumnRef(cid, name, INT)
+
+
+LAYOUT = {1: 0, 2: 1}
+
+
+class TestCompile:
+    def test_literal(self):
+        assert Literal(7).compile({})((), {}) == 7
+
+    def test_column_ref(self):
+        fn = col(2).compile(LAYOUT)
+        assert fn((10, 20), {}) == 20
+
+    def test_missing_column_raises_at_compile(self):
+        with pytest.raises(ExecutionError, match="missing from layout"):
+            col(9).compile(LAYOUT)
+
+    def test_parameter(self):
+        fn = Parameter("p").compile({})
+        assert fn((), {"p": 5}) == 5
+
+    def test_missing_parameter_raises_at_eval(self):
+        fn = Parameter("p").compile({})
+        with pytest.raises(ExecutionError, match="@p"):
+            fn((), {})
+
+    def test_binary_comparison_three_valued(self):
+        fn = BinaryOp("<", col(1), col(2)).compile(LAYOUT)
+        assert fn((1, 2), {}) is True
+        assert fn((2, 1), {}) is False
+        assert fn((None, 1), {}) is None
+
+    def test_and_or_not(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("=", col(1), Literal(1)),
+            NotOp(BinaryOp("=", col(2), Literal(9))),
+        )
+        fn = expr.compile(LAYOUT)
+        assert fn((1, 2), {}) is True
+        assert fn((1, 9), {}) is False
+
+    def test_in_list_null_semantics(self):
+        expr = InListOp(col(1), [Literal(1), Literal(None)])
+        fn = expr.compile(LAYOUT)
+        assert fn((1, 0), {}) is True
+        assert fn((2, 0), {}) is None  # no match but a NULL candidate
+        expr2 = InListOp(col(1), [Literal(1)], negated=True)
+        fn2 = expr2.compile(LAYOUT)
+        assert fn2((2, 0), {}) is True
+        assert fn2((1, 0), {}) is False
+
+    def test_is_null(self):
+        assert IsNullOp(col(1)).compile(LAYOUT)((None, 0), {}) is True
+        assert IsNullOp(col(1), negated=True).compile(LAYOUT)((None, 0), {}) is False
+
+    def test_like(self):
+        fn = LikeOp(col(1), Literal("a%")).compile(LAYOUT)
+        assert fn(("apple", 0), {}) is True
+        assert fn(("pear", 0), {}) is False
+
+    def test_unknown_binary_op_rejected(self):
+        with pytest.raises(OptimizerError):
+            BinaryOp("**", col(1), col(2))
+
+    def test_contains_fallback_tokenizes(self):
+        from repro.types.datatypes import varchar
+
+        text_col = ColumnRef(1, "body", varchar())
+        fn = ContainsPredicate(text_col, '"big data"').compile(LAYOUT)
+        assert fn(("big data wins", 0), {}) is True
+        assert fn(("data big", 0), {}) is False
+        assert fn((None, 0), {}) is None
+
+
+class TestFunctions:
+    def test_builtin_functions(self):
+        assert FuncCall("upper", [Literal("ab")]).compile({})((), {}) == "AB"
+        assert FuncCall("len", [Literal("abc")]).compile({})((), {}) == 3
+        assert FuncCall("abs", [Literal(-5)]).compile({})((), {}) == 5
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(OptimizerError):
+            FuncCall("bogus", [])
+
+    def test_register_extension_function(self):
+        register_scalar_function("triple", lambda x: None if x is None else x * 3, INT)
+        assert "triple" in scalar_function_names()
+        assert FuncCall("triple", [Literal(4)]).compile({})((), {}) == 12
+
+    def test_deterministic_today(self):
+        first = FuncCall("today", []).compile({})((), {})
+        second = FuncCall("today", []).compile({})((), {})
+        assert first == second
+
+
+class TestStructure:
+    def test_sql_key_equality(self):
+        a = BinaryOp("=", col(1), Literal(5))
+        b = BinaryOp("=", col(1), Literal(5))
+        assert a == b and hash(a) == hash(b)
+        assert a != BinaryOp("=", col(2), Literal(5))
+
+    def test_substitute_column(self):
+        expr = BinaryOp("+", col(1), col(2))
+        replaced = expr.substitute({1: Literal(100)})
+        fn = replaced.compile(LAYOUT)
+        assert fn((0, 7), {}) == 107
+
+    def test_flipped_comparison(self):
+        expr = BinaryOp("<", col(1), col(2)).flipped()
+        assert expr.op == ">"
+        assert expr.left.cid == 2
+
+    def test_conjuncts_roundtrip(self):
+        parts = [
+            BinaryOp("=", col(1), Literal(1)),
+            BinaryOp(">", col(2), Literal(2)),
+            IsNullOp(col(1)),
+        ]
+        merged = conjoin(parts)
+        assert conjuncts(merged) == parts
+        assert conjoin([]) is None
+        assert conjuncts(None) == []
+
+    def test_references(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("=", col(1), Parameter("p")),
+            LikeOp(col(2), Literal("%")),
+        )
+        assert expr.references() == frozenset({1, 2})
+        assert expr.parameters() == frozenset({"p"})
+
+    def test_aggregate_call_metadata(self):
+        call = AggregateCall("sum", col(1), output_cid=9, output_name="s")
+        assert call.references() == frozenset({1})
+        assert call.type == INT
+        count = AggregateCall("count", None, output_cid=10)
+        assert count.references() == frozenset()
+        with pytest.raises(OptimizerError):
+            AggregateCall("median", col(1), output_cid=11)

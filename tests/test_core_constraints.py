@@ -1,0 +1,155 @@
+"""Tests for the constraint property framework (Section 4.1.5)."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    BinaryOp,
+    ColumnRef,
+    InListOp,
+    Literal,
+    Parameter,
+)
+from repro.core.constraints import (
+    DomainTest,
+    comparison_domain,
+    contradicts,
+    derive_domains,
+    parameter_comparisons,
+    startup_conjuncts,
+)
+from repro.types import IntervalSet
+
+
+def col(cid):
+    return ColumnRef(cid, f"c{cid}")
+
+
+class TestDomainDerivation:
+    def test_paper_example_gt_50(self):
+        # "CustomerId > 50 ... from [-inf,+inf] to (50,+inf]"
+        domains = derive_domains(BinaryOp(">", col(1), Literal(50)))
+        assert not domains[1].contains(50)
+        assert domains[1].contains(51)
+
+    def test_flipped_comparison(self):
+        domains = derive_domains(BinaryOp(">", Literal(50), col(1)))
+        assert domains[1].contains(49)
+        assert not domains[1].contains(50)
+
+    def test_in_list(self):
+        domains = derive_domains(
+            InListOp(col(1), [Literal(1), Literal(5)])
+        )
+        assert domains[1].contains(1) and domains[1].contains(5)
+        assert not domains[1].contains(3)
+
+    def test_paper_or_example(self):
+        # "CustomerId IN (1,5) OR CustomerId BETWEEN 50 AND 100"
+        left = InListOp(col(1), [Literal(1), Literal(5)])
+        right = BinaryOp(
+            "AND",
+            BinaryOp(">=", col(1), Literal(50)),
+            BinaryOp("<=", col(1), Literal(100)),
+        )
+        implied = comparison_domain(BinaryOp("OR", left, right))
+        assert implied is not None
+        cid, domain = implied
+        assert domain.contains(1) and domain.contains(75)
+        assert not domain.contains(10)
+
+    def test_conjuncts_intersect(self):
+        pred = BinaryOp(
+            "AND",
+            BinaryOp(">=", col(1), Literal(10)),
+            BinaryOp("<", col(1), Literal(20)),
+        )
+        domains = derive_domains(pred)
+        assert domains[1].contains(15)
+        assert not domains[1].contains(20)
+
+    def test_or_over_different_columns_yields_nothing(self):
+        pred = BinaryOp(
+            "OR",
+            BinaryOp("=", col(1), Literal(1)),
+            BinaryOp("=", col(2), Literal(2)),
+        )
+        assert derive_domains(pred) == {}
+
+    def test_param_comparison_yields_no_constant_domain(self):
+        pred = BinaryOp("=", col(1), Parameter("p"))
+        assert derive_domains(pred) == {}
+
+
+class TestStaticPruning:
+    def test_paper_contradiction(self):
+        # domain (50,+inf] vs predicate = 20
+        base = {1: IntervalSet.from_comparison(">", 50)}
+        requested = {1: IntervalSet.point(20)}
+        assert contradicts(requested, base)
+
+    def test_overlap_is_not_contradiction(self):
+        base = {1: IntervalSet.from_comparison(">", 50)}
+        requested = {1: IntervalSet.point(60)}
+        assert not contradicts(requested, base)
+
+    def test_empty_requested_domain_contradicts(self):
+        requested = {1: IntervalSet.empty()}
+        assert contradicts(requested, {})
+
+    def test_unconstrained_column_never_contradicts(self):
+        requested = {2: IntervalSet.point(1)}
+        base = {1: IntervalSet.point(9)}
+        assert not contradicts(requested, base)
+
+
+class TestStartupFilters:
+    def test_parameter_comparisons_extracted(self):
+        pred = BinaryOp(
+            "AND",
+            BinaryOp("=", col(1), Parameter("p")),
+            BinaryOp(">", col(2), Literal(5)),
+        )
+        found = parameter_comparisons(pred)
+        assert len(found) == 1
+        cid, op, probe = found[0]
+        assert cid == 1 and op == "="
+
+    def test_flipped_parameter_comparison(self):
+        pred = BinaryOp("<", Parameter("p"), col(1))
+        found = parameter_comparisons(pred)
+        assert found[0][0] == 1
+        assert found[0][1] == ">"
+
+    def test_domain_test_evaluation(self):
+        domain = IntervalSet.from_comparison(">", 50)
+        test = DomainTest(Parameter("p"), "=", domain)
+        fn = test.compile({})
+        assert fn((), {"p": 60}) is True
+        assert fn((), {"p": 20}) is False
+        assert fn((), {"p": None}) is None
+
+    def test_domain_test_range_semantics(self):
+        # member holds [10, 20); query col < @p: satisfiable iff p > 10
+        domain = IntervalSet.from_comparison(">=", 10).intersect(
+            IntervalSet.from_comparison("<", 20)
+        )
+        test = DomainTest(Parameter("p"), "<", domain)
+        fn = test.compile({})
+        assert fn((), {"p": 15}) is True
+        assert fn((), {"p": 10}) is False
+        assert fn((), {"p": 25}) is True
+
+    def test_domain_test_rejects_column_probe(self):
+        with pytest.raises(ValueError):
+            DomainTest(col(1), "=", IntervalSet.full())
+
+    def test_startup_conjunct_split(self):
+        pred = BinaryOp(
+            "AND",
+            DomainTest(Parameter("p"), "=", IntervalSet.full()),
+            BinaryOp("=", col(1), Parameter("p")),
+        )
+        startup, residual = startup_conjuncts(pred)
+        assert len(startup) == 1 and len(residual) == 1
+        assert not startup[0].references()
+        assert residual[0].references()

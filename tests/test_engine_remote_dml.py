@@ -1,0 +1,118 @@
+"""Tests for DML through four-part names (distributed updates)."""
+
+import pytest
+
+from repro import Engine, NetworkChannel, ServerInstance
+from repro.errors import BindError, SqlError
+
+
+@pytest.fixture
+def pair():
+    local = Engine("local")
+    remote = ServerInstance("r1")
+    remote.execute(
+        "CREATE TABLE inventory (sku int PRIMARY KEY, qty int, "
+        "label varchar(30))"
+    )
+    remote.execute(
+        "INSERT INTO inventory VALUES (1, 10, 'ant'), (2, 20, 'bee')"
+    )
+    local.add_linked_server("r1", remote, NetworkChannel("c", latency_ms=1))
+    return local, remote
+
+
+class TestRemoteDml:
+    def test_remote_insert(self, pair):
+        local, remote = pair
+        n = local.execute(
+            "INSERT INTO r1.master.dbo.inventory VALUES (3, 30, 'cat')"
+        )
+        assert n.rowcount == 1
+        assert remote.execute(
+            "SELECT qty FROM inventory WHERE sku = 3"
+        ).scalar() == 30
+
+    def test_remote_insert_with_columns(self, pair):
+        local, remote = pair
+        local.execute(
+            "INSERT INTO r1.master.dbo.inventory (qty, sku) VALUES (40, 4)"
+        )
+        row = remote.execute(
+            "SELECT qty, label FROM inventory WHERE sku = 4"
+        ).rows[0]
+        assert row == (40, None)
+
+    def test_remote_insert_select_local(self, pair):
+        """INSERT remote SELECT local: rows flow outward."""
+        local, remote = pair
+        local.execute("CREATE TABLE staging (sku int, qty int, label varchar(30))")
+        local.execute("INSERT INTO staging VALUES (7, 70, 'gnu'), (8, 80, 'elk')")
+        n = local.execute(
+            "INSERT INTO r1.master.dbo.inventory SELECT * FROM staging"
+        )
+        assert n.rowcount == 2
+        assert remote.execute(
+            "SELECT COUNT(*) FROM inventory"
+        ).scalar() == 4
+
+    def test_remote_update(self, pair):
+        local, remote = pair
+        local.execute(
+            "UPDATE r1.master.dbo.inventory SET qty = qty + 5 WHERE sku = 1"
+        )
+        assert remote.execute(
+            "SELECT qty FROM inventory WHERE sku = 1"
+        ).scalar() == 15
+
+    def test_remote_update_with_params(self, pair):
+        local, remote = pair
+        local.execute(
+            "UPDATE r1.master.dbo.inventory SET qty = @q WHERE sku = @s",
+            params={"q": 99, "s": 2},
+        )
+        assert remote.execute(
+            "SELECT qty FROM inventory WHERE sku = 2"
+        ).scalar() == 99
+
+    def test_remote_delete(self, pair):
+        local, remote = pair
+        local.execute("DELETE FROM r1.master.dbo.inventory WHERE qty >= 20")
+        assert remote.execute("SELECT COUNT(*) FROM inventory").scalar() == 1
+
+    def test_metadata_invalidated_after_dml(self, pair):
+        """Remote DML invalidates cached cardinalities so later plans
+        see fresh statistics."""
+        local, remote = pair
+        server = local.linked_server("r1")
+        info_before = server.table_info("inventory", "master")
+        assert info_before.cardinality == 2
+        local.execute(
+            "INSERT INTO r1.master.dbo.inventory VALUES (9, 90, 'fox')"
+        )
+        info_after = server.table_info("inventory", "master")
+        assert info_after.cardinality == 3
+
+    def test_unknown_server_rejected(self, pair):
+        local, __ = pair
+        with pytest.raises(BindError):
+            local.execute("DELETE FROM ghost.master.dbo.inventory")
+
+    def test_non_sql_provider_rejected(self, pair):
+        local, __ = pair
+        from repro.providers import SimpleDataSource
+
+        local.add_linked_server(
+            "txt", SimpleDataSource({"f.csv": "a\n1"})
+        )
+        with pytest.raises(SqlError, match="DML"):
+            local.execute("DELETE FROM txt.master.dbo.[f.csv]")
+
+    def test_readback_through_select(self, pair):
+        local, __ = pair
+        local.execute(
+            "INSERT INTO r1.master.dbo.inventory VALUES (5, 50, 'owl')"
+        )
+        r = local.execute(
+            "SELECT i.label FROM r1.master.dbo.inventory i WHERE i.sku = 5"
+        )
+        assert r.rows == [("owl",)]

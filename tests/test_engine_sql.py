@@ -1,0 +1,307 @@
+"""End-to-end SQL tests against the local engine."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Engine
+from repro.errors import BindError, ConstraintError, SqlError
+
+
+class TestSelect:
+    def test_projection_and_alias(self, people_engine):
+        r = people_engine.execute("SELECT name AS who, age FROM people WHERE id = 1")
+        assert r.columns == ["who", "age"]
+        assert r.rows == [("Ada", 36)]
+
+    def test_star(self, people_engine):
+        r = people_engine.execute("SELECT * FROM cities")
+        assert len(r.rows) == 3
+        assert r.columns == ["city_id", "city", "country"]
+
+    def test_qualified_star(self, people_engine):
+        r = people_engine.execute(
+            "SELECT c.* FROM people p, cities c WHERE p.city_id = c.city_id "
+            "AND p.id = 1"
+        )
+        assert r.rows == [(1, "Seattle", "USA")]
+
+    def test_where_with_nulls_excluded(self, people_engine):
+        r = people_engine.execute("SELECT id FROM people WHERE salary > 0")
+        # Tony has NULL salary: UNKNOWN rows do not qualify
+        assert sorted(r.rows) == [(1,), (2,), (3,), (4,), (6,)]
+
+    def test_is_null(self, people_engine):
+        r = people_engine.execute("SELECT name FROM people WHERE salary IS NULL")
+        assert r.rows == [("Tony",)]
+
+    def test_in_list(self, people_engine):
+        r = people_engine.execute("SELECT id FROM people WHERE id IN (1, 3, 99)")
+        assert sorted(r.rows) == [(1,), (3,)]
+
+    def test_between(self, people_engine):
+        r = people_engine.execute(
+            "SELECT id FROM people WHERE age BETWEEN 41 AND 45"
+        )
+        assert sorted(r.rows) == [(2,), (4,), (5,)]
+
+    def test_like(self, people_engine):
+        r = people_engine.execute("SELECT name FROM people WHERE name LIKE 'B%'")
+        assert r.rows == [("Barbara",)]
+
+    def test_arithmetic_in_projection(self, people_engine):
+        r = people_engine.execute("SELECT salary * 2 FROM people WHERE id = 1")
+        assert r.rows == [(200.0,)]
+
+    def test_case_expression(self, people_engine):
+        r = people_engine.execute(
+            "SELECT name, CASE WHEN age >= 50 THEN 'senior' ELSE 'junior' END "
+            "FROM people WHERE id IN (1, 3)"
+        )
+        assert sorted(r.rows) == [("Ada", "junior"), ("Edsger", "senior")]
+
+    def test_order_by_multiple_keys(self, people_engine):
+        r = people_engine.execute(
+            "SELECT city_id, name FROM people WHERE city_id IS NOT NULL "
+            "ORDER BY city_id, name DESC"
+        )
+        assert r.rows == [
+            (1, "Barbara"), (1, "Ada"), (2, "Grace"),
+            (3, "Tony"), (3, "Edsger"),
+        ]
+
+    def test_order_by_ordinal(self, people_engine):
+        r = people_engine.execute("SELECT name FROM people ORDER BY 1")
+        assert r.rows[0] == ("Ada",)
+
+    def test_top(self, people_engine):
+        r = people_engine.execute("SELECT TOP 2 name FROM people ORDER BY age DESC")
+        assert r.rows == [("Donald",), ("Edsger",)]
+
+    def test_distinct(self, people_engine):
+        r = people_engine.execute("SELECT DISTINCT country FROM cities")
+        assert r.rows == [("USA",)]
+
+    def test_select_without_from(self, people_engine):
+        r = people_engine.execute("SELECT 1 + 2 AS three")
+        assert r.rows == [(3,)]
+        assert r.columns == ["three"]
+
+    def test_union_all(self, people_engine):
+        r = people_engine.execute(
+            "SELECT name FROM people WHERE id = 1 "
+            "UNION ALL SELECT city FROM cities WHERE city_id = 1"
+        )
+        assert sorted(r.rows) == [("Ada",), ("Seattle",)]
+
+    def test_derived_table(self, people_engine):
+        r = people_engine.execute(
+            "SELECT d.n FROM (SELECT name AS n, age FROM people) d "
+            "WHERE d.age > 50"
+        )
+        assert r.rows == [("Donald",)]
+
+    def test_unknown_column_raises(self, people_engine):
+        with pytest.raises(BindError):
+            people_engine.execute("SELECT ghost FROM people")
+
+    def test_unknown_table_raises(self, people_engine):
+        with pytest.raises(BindError):
+            people_engine.execute("SELECT * FROM ghosts")
+
+
+class TestJoins:
+    def test_inner_join_syntax(self, people_engine):
+        r = people_engine.execute(
+            "SELECT p.name, c.city FROM people p "
+            "JOIN cities c ON p.city_id = c.city_id WHERE p.id = 2"
+        )
+        assert r.rows == [("Grace", "Arlington")]
+
+    def test_left_outer_join_keeps_unmatched(self, people_engine):
+        r = people_engine.execute(
+            "SELECT p.name, c.city FROM people p "
+            "LEFT OUTER JOIN cities c ON p.city_id = c.city_id"
+        )
+        by_name = dict(r.rows)
+        assert by_name["Donald"] is None
+        assert by_name["Ada"] == "Seattle"
+
+    def test_cross_join_counts(self, people_engine):
+        r = people_engine.execute(
+            "SELECT COUNT(*) FROM people CROSS JOIN cities"
+        )
+        assert r.scalar() == 18
+
+    def test_self_join(self, people_engine):
+        r = people_engine.execute(
+            "SELECT a.name, b.name FROM people a, people b "
+            "WHERE a.city_id = b.city_id AND a.id < b.id"
+        )
+        assert sorted(r.rows) == [("Ada", "Barbara"), ("Edsger", "Tony")]
+
+    def test_null_join_keys_never_match(self, people_engine):
+        r = people_engine.execute(
+            "SELECT p.name FROM people p JOIN cities c "
+            "ON p.city_id = c.city_id"
+        )
+        names = [row[0] for row in r.rows]
+        assert "Donald" not in names
+
+
+class TestAggregation:
+    def test_count_sum_avg_min_max(self, people_engine):
+        r = people_engine.execute(
+            "SELECT COUNT(*), COUNT(salary), SUM(salary), AVG(age), "
+            "MIN(age), MAX(age) FROM people"
+        )
+        count_star, count_salary, total, avg_age, min_age, max_age = r.rows[0]
+        assert count_star == 6
+        assert count_salary == 5  # NULL salary not counted
+        assert total == pytest.approx(525.0)
+        assert min_age == 36 and max_age == 55
+        assert avg_age == pytest.approx(44.833, abs=0.01)
+
+    def test_group_by(self, people_engine):
+        r = people_engine.execute(
+            "SELECT city_id, COUNT(*) FROM people "
+            "WHERE city_id IS NOT NULL GROUP BY city_id ORDER BY city_id"
+        )
+        assert r.rows == [(1, 2), (2, 1), (3, 2)]
+
+    def test_having(self, people_engine):
+        r = people_engine.execute(
+            "SELECT city_id, COUNT(*) FROM people GROUP BY city_id "
+            "HAVING COUNT(*) > 1 ORDER BY city_id"
+        )
+        assert r.rows == [(1, 2), (3, 2)]
+
+    def test_count_distinct(self, people_engine):
+        r = people_engine.execute("SELECT COUNT(DISTINCT country) FROM cities")
+        assert r.scalar() == 1
+
+    def test_group_by_expression(self, people_engine):
+        r = people_engine.execute(
+            "SELECT age / 10, COUNT(*) FROM people GROUP BY age / 10 "
+            "ORDER BY 1"
+        )
+        assert r.rows == [(3, 1), (4, 3), (5, 2)]
+
+    def test_scalar_aggregate_over_empty(self, people_engine):
+        r = people_engine.execute(
+            "SELECT COUNT(*), MAX(age) FROM people WHERE id > 1000"
+        )
+        assert r.rows == [(0, None)]
+
+    def test_ungrouped_column_rejected(self, people_engine):
+        with pytest.raises(BindError):
+            people_engine.execute(
+                "SELECT name, COUNT(*) FROM people GROUP BY city_id"
+            )
+
+
+class TestDml:
+    def test_insert_update_delete_cycle(self, engine):
+        engine.execute("CREATE TABLE t (id int PRIMARY KEY, v int)")
+        assert engine.execute("INSERT INTO t VALUES (1, 10), (2, 20)").rowcount == 2
+        assert engine.execute("UPDATE t SET v = v + 5 WHERE id = 1").rowcount == 1
+        assert engine.execute("SELECT v FROM t WHERE id = 1").scalar() == 15
+        assert engine.execute("DELETE FROM t WHERE id = 2").rowcount == 1
+        assert engine.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_insert_with_column_list_reorders(self, engine):
+        engine.execute("CREATE TABLE t (a int, b varchar(10))")
+        engine.execute("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert engine.execute("SELECT a, b FROM t").rows == [(1, "x")]
+
+    def test_insert_with_column_list_defaults_nulls(self, engine):
+        engine.execute("CREATE TABLE t (a int, b varchar(10))")
+        engine.execute("INSERT INTO t (a) VALUES (1)")
+        assert engine.execute("SELECT a, b FROM t").rows == [(1, None)]
+
+    def test_insert_select(self, engine):
+        engine.execute("CREATE TABLE src (x int)")
+        engine.execute("CREATE TABLE dst (x int)")
+        engine.execute("INSERT INTO src VALUES (1), (2), (3)")
+        n = engine.execute("INSERT INTO dst SELECT x FROM src WHERE x > 1")
+        assert n.rowcount == 2
+
+    def test_primary_key_violation(self, engine):
+        engine.execute("CREATE TABLE t (id int PRIMARY KEY)")
+        engine.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t VALUES (1)")
+
+    def test_check_violation(self, engine):
+        engine.execute("CREATE TABLE t (v int CHECK (v > 0))")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t VALUES (-1)")
+
+    def test_update_with_params(self, engine):
+        engine.execute("CREATE TABLE t (id int, v int)")
+        engine.execute("INSERT INTO t VALUES (1, 0)")
+        engine.execute(
+            "UPDATE t SET v = @newv WHERE id = @id",
+            params={"newv": 9, "id": 1},
+        )
+        assert engine.execute("SELECT v FROM t").scalar() == 9
+
+    def test_delete_all(self, engine):
+        engine.execute("CREATE TABLE t (id int)")
+        engine.execute("INSERT INTO t VALUES (1), (2)")
+        assert engine.execute("DELETE FROM t").rowcount == 2
+
+
+class TestDdl:
+    def test_create_table_types(self, engine):
+        engine.execute(
+            "CREATE TABLE t (a int, b bigint, c float, d varchar(5), "
+            "e date, f datetime, g bit)"
+        )
+        table = engine.catalog.database().table("t")
+        assert [c.type.name for c in table.schema] == [
+            "INT", "BIGINT", "FLOAT", "VARCHAR", "DATE", "DATETIME", "BIT",
+        ]
+
+    def test_create_database_and_qualified_names(self, engine):
+        engine.execute("CREATE DATABASE app")
+        engine.execute("CREATE TABLE app.dbo.t (x int)")
+        engine.execute("INSERT INTO app.dbo.t VALUES (1)")
+        assert engine.execute("SELECT x FROM app.dbo.t").rows == [(1,)]
+
+    def test_create_index_used_by_planner(self, engine):
+        engine.execute("CREATE TABLE t (id int)")
+        for i in range(100):
+            engine.execute(f"INSERT INTO t VALUES ({i})")
+        engine.execute("CREATE INDEX ix ON t (id)")
+        result = engine.plan("SELECT id FROM t WHERE id = 5")
+        from repro.core import physical as P
+
+        assert any(isinstance(n, P.IndexRange) for n in result.plan.walk())
+
+    def test_view_expansion(self, engine):
+        engine.execute("CREATE TABLE t (x int)")
+        engine.execute("INSERT INTO t VALUES (1), (5)")
+        engine.execute("CREATE VIEW big AS SELECT x FROM t WHERE x > 2")
+        assert engine.execute("SELECT * FROM big").rows == [(5,)]
+
+    def test_drop_table(self, engine):
+        engine.execute("CREATE TABLE t (x int)")
+        engine.execute("DROP TABLE t")
+        with pytest.raises(BindError):
+            engine.execute("SELECT * FROM t")
+
+
+class TestParameters:
+    def test_missing_parameter_raises(self, people_engine):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="parameter"):
+            people_engine.execute("SELECT * FROM people WHERE id = @missing")
+
+    def test_parameter_reuse(self, people_engine):
+        r = people_engine.execute(
+            "SELECT id FROM people WHERE age > @a AND id > @a",
+            params={"a": 4},
+        )
+        assert sorted(r.rows) == [(5,), (6,)]

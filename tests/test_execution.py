@@ -1,0 +1,196 @@
+"""Tests for execution operators, exercised through engine plans and
+directly where the operator has subtle semantics."""
+
+import pytest
+
+from repro import Engine
+from repro.core import physical as P
+from repro.execution import ExecutionContext, execute_plan, open_plan
+
+
+@pytest.fixture
+def engine():
+    e = Engine("local")
+    e.execute("CREATE TABLE l (k int, lv varchar(10))")
+    e.execute("CREATE TABLE r (k int, rv varchar(10))")
+    e.execute(
+        "INSERT INTO l VALUES (1, 'l1'), (2, 'l2'), (NULL, 'lnull'), (2, 'l2b')"
+    )
+    e.execute("INSERT INTO r VALUES (2, 'r2'), (3, 'r3'), (NULL, 'rnull')")
+    return e
+
+
+class TestJoinSemantics:
+    def test_inner_join_null_keys_drop(self, engine):
+        r = engine.execute(
+            "SELECT l.lv, r.rv FROM l, r WHERE l.k = r.k"
+        )
+        assert sorted(r.rows) == [("l2", "r2"), ("l2b", "r2")]
+
+    def test_left_outer_null_padding(self, engine):
+        r = engine.execute(
+            "SELECT l.lv, r.rv FROM l LEFT OUTER JOIN r ON l.k = r.k"
+        )
+        by_lv = {}
+        for lv, rv in r.rows:
+            by_lv.setdefault(lv, []).append(rv)
+        assert by_lv["l1"] == [None]
+        assert by_lv["lnull"] == [None]
+        assert by_lv["l2"] == ["r2"]
+
+    def test_semi_join_no_duplicates(self, engine):
+        engine.execute("INSERT INTO r VALUES (2, 'r2again')")
+        r = engine.execute(
+            "SELECT l.lv FROM l WHERE EXISTS "
+            "(SELECT * FROM r WHERE r.k = l.k)"
+        )
+        # each qualifying l row once, despite two matching r rows
+        assert sorted(r.rows) == [("l2",), ("l2b",)]
+
+    def test_anti_join_null_left_key_kept(self, engine):
+        r = engine.execute(
+            "SELECT l.lv FROM l WHERE NOT EXISTS "
+            "(SELECT * FROM r WHERE r.k = l.k)"
+        )
+        # NULL = anything is UNKNOWN: the lnull row survives NOT EXISTS
+        assert sorted(r.rows) == [("l1",), ("lnull",)]
+
+    def test_merge_join_agrees_with_hash_join(self, engine):
+        baseline = sorted(
+            engine.execute(
+                "SELECT l.lv, r.rv FROM l, r WHERE l.k = r.k"
+            ).rows
+        )
+        # force merge join by disabling hash-friendly alternatives is
+        # not directly possible; instead execute a MergeJoin manually
+        from repro.core.optimizer import Optimizer
+        from repro.sql.binder import Binder
+        from repro.sql.parser import parse_sql
+        from repro.core.rules.normalization import normalize
+        from repro.core.memo import Memo
+
+        bound = Binder(engine).bind_select(
+            parse_sql("SELECT l.lv, r.rv FROM l, r WHERE l.k = r.k")
+        )
+        optimizer = engine.optimizer
+        optimizer.phase = 2
+
+        class _Stats:
+            rules_fired = 0
+            expressions_added = 0
+            groups_optimized = 0
+            best_cost = 0.0
+
+        optimizer._stats = _Stats()
+        memo = Memo()
+        root_group = memo.insert_tree(normalize(bound.root))
+        # find the join group and take a MergeJoin alternative
+        from repro.algebra.logical import Join as LJoin
+
+        join_group = next(
+            g
+            for g in memo.groups
+            for e in g.expressions
+            if isinstance(e.op, LJoin)
+        )
+        expr = next(
+            e for e in join_group.expressions if isinstance(e.op, LJoin)
+        )
+        alternatives = optimizer._implement_join(
+            expr.op, expr, join_group.properties
+        )
+        merge = [a for a in alternatives if isinstance(a, P.MergeJoin)]
+        assert merge, "expected a merge join alternative in phase 2"
+        rows = execute_plan(merge[0], ExecutionContext())
+        lv_ordinal = list(merge[0].output_ids()).index(
+            join_group.properties.output_ids[1]
+        )
+        assert len(rows) == len(baseline)
+
+
+class TestSpool:
+    def test_spool_materializes_once(self, engine):
+        counter = {"opens": 0}
+
+        class CountingScan(P.PhysicalOp):
+            def output_ids(self):
+                return (1,)
+
+        scan = CountingScan()
+
+        from repro.execution import executor as ex
+
+        original = ex.open_plan
+
+        spool = P.Spool(scan)
+        ctx = ExecutionContext()
+        # monkeypatch open for the scan type
+        import repro.execution.executor as executor_module
+
+        def fake_open(plan, context):
+            if plan is scan:
+                counter["opens"] += 1
+                return iter([(1,), (2,)])
+            return original(plan, context)
+
+        executor_module_open = executor_module.open_plan
+        try:
+            executor_module.open_plan = fake_open
+            first = list(fake_open(spool, ctx)) if False else None
+            # open the spool twice via the real spool runner
+            from repro.execution.executor import _run_spool
+
+            assert list(_run_spool(spool, ctx)) == [(1,), (2,)]
+            assert list(_run_spool(spool, ctx)) == [(1,), (2,)]
+        finally:
+            executor_module.open_plan = executor_module_open
+        assert counter["opens"] == 1
+        assert ctx.spool_rescans == 1
+
+
+class TestStartupFilter:
+    def test_child_not_opened_when_false(self, engine):
+        from repro.algebra.expressions import Literal
+
+        class ExplodingScan(P.PhysicalOp):
+            def output_ids(self):
+                return (1,)
+
+        # a plan whose child would raise if opened
+        node = P.StartupFilter(ExplodingScan(), Literal(False))
+        ctx = ExecutionContext()
+        assert list(open_plan(node, ctx)) == []
+        assert ctx.startup_filters_skipped == 1
+
+    def test_child_opened_when_true(self, engine):
+        r = engine.execute(
+            "SELECT lv FROM l WHERE @flag = 1 AND k = 1",
+            params={"flag": 1},
+        )
+        assert r.rows == [("l1",)]
+        r2 = engine.execute(
+            "SELECT lv FROM l WHERE @flag = 1 AND k = 1",
+            params={"flag": 0},
+        )
+        assert r2.rows == []
+
+
+class TestHalloweenProtection:
+    def test_update_scan_is_materialized(self, engine):
+        engine.execute("CREATE TABLE acc (id int PRIMARY KEY, bal int)")
+        for i in range(10):
+            engine.execute(f"INSERT INTO acc VALUES ({i}, {i * 10})")
+        # give every row a raise; without protection a scan that sees
+        # its own updates could double-apply
+        n = engine.execute("UPDATE acc SET bal = bal + 1").rowcount
+        assert n == 10
+        total = engine.execute("SELECT SUM(bal) FROM acc").scalar()
+        assert total == sum(i * 10 + 1 for i in range(10))
+
+    def test_flag_exists_for_experiments(self, engine):
+        assert engine.halloween_protection is True
+        engine.halloween_protection = False
+        engine.execute("CREATE TABLE t2 (v int)")
+        engine.execute("INSERT INTO t2 VALUES (1)")
+        engine.execute("UPDATE t2 SET v = v + 1")
+        assert engine.execute("SELECT v FROM t2").scalar() == 2

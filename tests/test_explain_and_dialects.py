@@ -1,0 +1,116 @@
+"""Tests for EXPLAIN, dialect limits (nested-select capability), and
+failure injection through the DTC path."""
+
+import pytest
+
+from repro import Engine, NetworkChannel, ServerInstance
+from repro.core import physical as P
+from repro.errors import TransactionAborted
+from repro.oledb.properties import SqlSupportLevel
+from repro.providers.sqlserver import SqlServerDataSource
+
+
+class TestExplain:
+    @pytest.fixture
+    def engine(self):
+        e = Engine("local")
+        e.execute("CREATE TABLE t (id int PRIMARY KEY, v int)")
+        for i in range(20):
+            e.execute(f"INSERT INTO t VALUES ({i}, {i * 2})")
+        return e
+
+    def test_explain_returns_plan_lines(self, engine):
+        r = engine.execute("EXPLAIN SELECT v FROM t WHERE id = 3")
+        text = "\n".join(line for (line,) in r.rows)
+        assert "IndexRange" in text or "TableScan" in text
+        assert "phase 0" in text
+
+    def test_explain_does_not_execute(self, engine):
+        before = engine.execute("SELECT COUNT(*) FROM t").scalar()
+        engine.execute("EXPLAIN SELECT * FROM t")
+        assert engine.execute("SELECT COUNT(*) FROM t").scalar() == before
+
+    def test_explain_carries_plan_object(self, engine):
+        r = engine.execute("EXPLAIN SELECT v FROM t")
+        assert r.plan is not None
+        assert r.optimization is not None
+
+
+class TestNestedSelectCapability:
+    """Section 4.1.3: providers advertise nested-select support; the
+    decoder must not overshoot a provider that lacks it."""
+
+    @pytest.fixture
+    def pair(self):
+        local = Engine("local")
+        backend = ServerInstance("be")
+        backend.execute("CREATE TABLE t (k int, grp int, v float)")
+        table = backend.catalog.database().table("t")
+        for i in range(500):
+            table.insert((i, i % 5, float(i)))
+        ds = SqlServerDataSource(
+            backend,
+            channel=NetworkChannel("c", latency_ms=1),
+            supports_nested_select=False,
+        )
+        local.add_linked_server("r1", ds)
+        return local, backend
+
+    def test_flat_query_still_pushed(self, pair):
+        local, __ = pair
+        r = local.execute(
+            "SELECT t.v FROM r1.master.dbo.t t WHERE t.k = 7"
+        )
+        assert r.rows == [(7.0,)]
+        assert any(isinstance(n, P.RemoteQuery) for n in r.plan.walk())
+
+    def test_aggregate_over_projection_falls_back(self, pair):
+        """A shape that would need a derived table decodes flat or runs
+        locally — never emits nested SELECT text."""
+        local, __ = pair
+        r = local.execute(
+            "SELECT d.grp, COUNT(*) FROM "
+            "(SELECT t.grp FROM r1.master.dbo.t t WHERE t.v > 100) d "
+            "GROUP BY d.grp"
+        )
+        assert len(r.rows) == 5
+        for node in r.plan.walk():
+            if isinstance(node, P.RemoteQuery):
+                assert "(SELECT" not in node.sql_text
+
+
+class TestDistributedAbortInjection:
+    def test_remote_prepare_failure_rolls_back_statement(self):
+        local = Engine("local")
+        members = []
+        for i, (low, high) in enumerate([(0, 10), (10, 20)]):
+            server = ServerInstance(f"m{i}")
+            server.execute(
+                f"CREATE TABLE p_{i} (k int NOT NULL CHECK "
+                f"(k >= {low} AND k < {high}), v int)"
+            )
+            local.add_linked_server(f"m{i}", server, NetworkChannel(f"c{i}"))
+            members.append(server)
+        local.execute(
+            "CREATE VIEW pv AS SELECT * FROM m0.master.dbo.p_0 "
+            "UNION ALL SELECT * FROM m1.master.dbo.p_1"
+        )
+        # sabotage member 1's next transaction branch
+        original = members[1].begin_transaction
+
+        def failing_branch():
+            txn = original()
+            txn.fail_on_prepare = True
+            return txn
+
+        members[1].begin_transaction = failing_branch
+        with pytest.raises(TransactionAborted):
+            local.execute("INSERT INTO pv VALUES (5, 1), (15, 2)")
+        members[1].begin_transaction = original
+        assert members[0].execute("SELECT COUNT(*) FROM p_0").scalar() == 0
+        assert members[1].execute("SELECT COUNT(*) FROM p_1").scalar() == 0
+        assert local.dtc.aborted_count == 1
+        # the system recovers: the same statement now commits
+        local.execute("INSERT INTO pv VALUES (5, 1), (15, 2)")
+        assert members[0].execute("SELECT COUNT(*) FROM p_0").scalar() == 1
+        assert members[1].execute("SELECT COUNT(*) FROM p_1").scalar() == 1

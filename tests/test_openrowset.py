@@ -1,0 +1,84 @@
+"""Tests for OPENROWSET in both forms: pass-through query text and a
+named rowset (table) on an ad-hoc provider."""
+
+import pytest
+
+from repro import Engine, FullTextService
+from repro.errors import BindError
+from repro.providers import SimpleDataSource
+from repro.workloads import generate_corpus
+
+
+@pytest.fixture
+def engine():
+    e = Engine("local")
+    service = FullTextService()
+    catalog = service.create_catalog("lit", "filesystem")
+    catalog.index_directory(generate_corpus(document_count=40, seed=8))
+    e.attach_fulltext_service(service)
+
+    # an ad-hoc text provider for table-form OPENROWSET
+    def text_factory(datasource: str, user: str, password: str):
+        ds = SimpleDataSource(
+            {"budget.csv": "dept,amount\neng,100\nops,55\nhr,20"}
+        )
+        ds.initialize()
+        return ds
+
+    e.register_openrowset_provider("MSDASQL", text_factory)
+    return e
+
+
+class TestQueryForm:
+    def test_msidxs_query(self, engine):
+        r = engine.execute(
+            "SELECT FS.FileName FROM OpenRowset('MSIDXS','lit';'';'', "
+            "'Select Path, FileName from SCOPE() where "
+            "CONTAINS(''parallel'')') AS FS"
+        )
+        assert r.rows
+        assert all(name.endswith((".txt", ".html", ".doc")) for (name,) in r.rows)
+
+    def test_result_composes_with_sql(self, engine):
+        r = engine.execute(
+            "SELECT COUNT(*) FROM OpenRowset('MSIDXS','lit';'';'', "
+            "'Select Path, Rank from SCOPE() where CONTAINS(''parallel'')') "
+            "AS FS WHERE FS.Rank > 0"
+        )
+        assert r.scalar() >= 1
+
+
+class TestTableForm:
+    def test_named_rowset(self, engine):
+        r = engine.execute(
+            "SELECT b.dept, b.amount FROM "
+            "OpenRowset('MSDASQL','ignored';'';'', [budget.csv]) AS b "
+            "WHERE b.amount > 30 ORDER BY b.amount DESC"
+        )
+        assert r.rows == [("eng", 100), ("ops", 55)]
+
+    def test_join_with_local_table(self, engine):
+        engine.execute("CREATE TABLE heads (dept varchar(10), head varchar(10))")
+        engine.execute("INSERT INTO heads VALUES ('eng', 'ada'), ('hr', 'bob')")
+        r = engine.execute(
+            "SELECT h.head, b.amount FROM "
+            "OpenRowset('MSDASQL','x';'';'', [budget.csv]) AS b, heads h "
+            "WHERE b.dept = h.dept ORDER BY h.head"
+        )
+        assert r.rows == [("ada", 100), ("bob", 20)]
+
+
+class TestErrors:
+    def test_unregistered_provider(self, engine):
+        with pytest.raises(BindError, match="OPENROWSET provider"):
+            engine.execute(
+                "SELECT * FROM OpenRowset('NOPE','x';'';'', 'q text') AS q"
+            )
+
+    def test_engine_without_fulltext_service(self):
+        bare = Engine("bare")
+        with pytest.raises(BindError):
+            bare.execute(
+                "SELECT * FROM OpenRowset('MSIDXS','c';'';'', "
+                "'Select Path from SCOPE() where CONTAINS(''x'')') AS q"
+            )

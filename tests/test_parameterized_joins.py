@@ -1,0 +1,78 @@
+"""Tests for parameterized remote joins (Section 4.1.2) and their
+runtime probe cache."""
+
+import pytest
+
+from repro import Engine, NetworkChannel, OptimizerOptions, ServerInstance
+from repro.core import physical as P
+
+
+@pytest.fixture
+def world():
+    local = Engine("local")
+    remote = ServerInstance("r1")
+    remote.execute("CREATE TABLE d (k int PRIMARY KEY, v varchar(10))")
+    table = remote.catalog.database().table("d")
+    for i in range(2000):
+        table.insert((i, f"v{i}"))
+    channel = NetworkChannel("c", latency_ms=1, mb_per_second=5)
+    local.add_linked_server("r1", remote, channel)
+    local.execute("CREATE TABLE f (k int)")
+    ftable = local.catalog.database().table("f")
+    for i in range(40):
+        ftable.insert((i % 5,))  # 40 outer rows, 5 distinct keys
+    # leave only the probing strategy on the table for the join
+    local.optimizer.options = OptimizerOptions(enable_remote_query=False)
+    return local, remote, channel
+
+
+JOIN_SQL = "SELECT d.v FROM f, r1.master.dbo.d d WHERE f.k = d.k"
+
+
+class TestParameterizedJoin:
+    def test_plan_uses_probe(self, world):
+        local, __, __c = world
+        result = local.plan(JOIN_SQL)
+        assert any(
+            isinstance(n, P.ParameterizedRemoteJoin)
+            for n in result.plan.walk()
+        ), result.plan.tree_repr()
+
+    def test_results_correct(self, world):
+        local, __, __c = world
+        rows = sorted(local.execute(JOIN_SQL).rows)
+        expected = sorted([(f"v{i % 5}",) for i in range(40)])
+        assert rows == expected
+
+    def test_probe_cache_dedups_remote_executions(self, world):
+        local, __, __c = world
+        result = local.execute(JOIN_SQL)
+        # 40 outer rows but only 5 distinct keys -> at most 5 probes
+        assert result.context.remote_queries_executed <= 5
+
+    def test_probe_bytes_far_below_full_scan(self, world):
+        local, __, channel = world
+        channel.stats.reset()
+        local.execute(JOIN_SQL)
+        probe_bytes = channel.stats.total_bytes
+        local.optimizer.options = OptimizerOptions(
+            enable_remote_query=False, enable_parameterization=False
+        )
+        channel.stats.reset()
+        local.execute(JOIN_SQL)
+        scan_bytes = channel.stats.total_bytes
+        assert probe_bytes * 10 < scan_bytes
+
+    def test_semi_join_probe(self, world):
+        local, __, __c = world
+        result = local.execute(
+            "SELECT f.k FROM f WHERE EXISTS "
+            "(SELECT * FROM r1.master.dbo.d d WHERE d.k = f.k)"
+        )
+        assert len(result.rows) == 40
+
+    def test_null_outer_keys_produce_no_matches(self, world):
+        local, __, __c = world
+        local.execute("INSERT INTO f VALUES (NULL)")
+        rows = local.execute(JOIN_SQL).rows
+        assert len(rows) == 40  # the NULL row joins nothing

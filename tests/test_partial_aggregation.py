@@ -1,0 +1,130 @@
+"""Tests for local-global (partial) aggregation over partitioned views."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Engine, NetworkChannel, OptimizerOptions, ServerInstance
+
+
+@pytest.fixture
+def world():
+    local = Engine("local")
+    channels = {}
+    for year in (1992, 1993):
+        server = ServerInstance(f"srv{year}")
+        server.execute(
+            f"CREATE TABLE li_{year} (l_orderkey int, l_qty int, "
+            "l_commitdate date NOT NULL CHECK "
+            f"(l_commitdate >= '{year}-1-1' AND "
+            f"l_commitdate < '{year + 1}-1-1'))"
+        )
+        table = server.catalog.database().table(f"li_{year}")
+        for i in range(300):
+            table.insert(
+                (i, i % 5, dt.date(year, (i % 12) + 1, (i % 27) + 1))
+            )
+        channel = NetworkChannel(f"c{year}", latency_ms=1)
+        local.add_linked_server(f"srv{year}", server, channel)
+        channels[year] = channel
+    local.execute(
+        "CREATE VIEW li AS SELECT * FROM srv1992.master.dbo.li_1992 "
+        "UNION ALL SELECT * FROM srv1993.master.dbo.li_1993"
+    )
+    return local, channels
+
+
+def _bytes(channels):
+    return sum(c.stats.total_bytes for c in channels.values())
+
+
+def _reset(channels):
+    for channel in channels.values():
+        channel.stats.reset()
+
+
+class TestPartialAggregation:
+    def test_scalar_aggregates_correct(self, world):
+        local, __ = world
+        row = local.execute(
+            "SELECT COUNT(*), SUM(l_qty), MIN(l_qty), MAX(l_qty) FROM li"
+        ).rows[0]
+        assert row == (600, sum(i % 5 for i in range(300)) * 2, 0, 4)
+
+    def test_grouped_aggregates_correct(self, world):
+        local, __ = world
+        rows = local.execute(
+            "SELECT l_qty, COUNT(*) FROM li GROUP BY l_qty ORDER BY l_qty"
+        ).rows
+        assert sum(count for __, count in rows) == 600
+        assert [qty for qty, __ in rows] == [0, 1, 2, 3, 4]
+
+    def test_matches_unoptimized_results(self, world):
+        local, __ = world
+        sql = (
+            "SELECT l_qty, COUNT(*), SUM(l_orderkey) FROM li "
+            "GROUP BY l_qty ORDER BY l_qty"
+        )
+        with_partial = local.execute(sql).rows
+        local.optimizer.options = OptimizerOptions(
+            enable_partial_aggregation=False
+        )
+        try:
+            without = local.execute(sql).rows
+        finally:
+            local.optimizer.options = OptimizerOptions()
+        assert with_partial == without
+
+    def test_bytes_reduced(self, world):
+        local, channels = world
+        _reset(channels)
+        local.execute("SELECT COUNT(*) FROM li")
+        with_partial = _bytes(channels)
+        local.optimizer.options = OptimizerOptions(
+            enable_partial_aggregation=False
+        )
+        try:
+            _reset(channels)
+            local.execute("SELECT COUNT(*) FROM li")
+            without = _bytes(channels)
+        finally:
+            local.optimizer.options = OptimizerOptions()
+        assert with_partial * 10 < without
+
+    def test_avg_not_decomposed_but_correct(self, world):
+        local, __ = world
+        got = local.execute("SELECT AVG(l_qty) FROM li").scalar()
+        assert got == pytest.approx(sum(i % 5 for i in range(300)) / 300)
+
+    def test_count_distinct_not_decomposed_but_correct(self, world):
+        local, __ = world
+        got = local.execute("SELECT COUNT(DISTINCT l_qty) FROM li").scalar()
+        assert got == 5
+
+    def test_with_pruning_predicate(self, world):
+        local, __ = world
+        got = local.execute(
+            "SELECT COUNT(*) FROM li WHERE l_commitdate >= '1993-1-1'"
+        ).scalar()
+        assert got == 300
+
+    def test_empty_member_contributes_zero(self, world):
+        local, channels = world
+        # add an empty third member
+        server = ServerInstance("srv1994")
+        server.execute(
+            "CREATE TABLE li_1994 (l_orderkey int, l_qty int, "
+            "l_commitdate date NOT NULL CHECK "
+            "(l_commitdate >= '1994-1-1' AND l_commitdate < '1995-1-1'))"
+        )
+        local.add_linked_server("srv1994", server, NetworkChannel("c94"))
+        local.execute(
+            "CREATE VIEW li3 AS SELECT * FROM srv1992.master.dbo.li_1992 "
+            "UNION ALL SELECT * FROM srv1993.master.dbo.li_1993 "
+            "UNION ALL SELECT * FROM srv1994.master.dbo.li_1994"
+        )
+        row = local.execute(
+            "SELECT COUNT(*), SUM(l_qty), MIN(l_qty) FROM li3"
+        ).rows[0]
+        assert row[0] == 600
+        assert row[2] == 0

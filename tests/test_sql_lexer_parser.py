@@ -1,0 +1,270 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import LexerError, ParseError
+from repro.sql import ast, parse_sql, tokenize_sql
+from repro.sql.parser import parse_expression
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize_sql("SELECT foo FROM bar")
+        kinds = [(t.kind, t.value.lower()) for t in tokens[:-1]]
+        assert kinds == [
+            ("keyword", "select"),
+            ("identifier", "foo"),
+            ("keyword", "from"),
+            ("identifier", "bar"),
+        ]
+
+    def test_string_quote_undoubling(self):
+        tokens = tokenize_sql("'O''Brien'")
+        assert tokens[0].value == "O'Brien"
+
+    def test_bracket_identifiers(self):
+        tokens = tokenize_sql("[My Table]")
+        assert tokens[0].kind == "identifier"
+        assert tokens[0].value == "My Table"
+
+    def test_windows_paths_become_strings(self):
+        tokens = tokenize_sql(r"MakeTable(Mail, d:\mail\smith.mmf)")
+        values = [t.value for t in tokens if t.kind == "string"]
+        assert values == [r"d:\mail\smith.mmf"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize_sql("SELECT 1 -- trailing\n/* block */ + 2")
+        texts = [t.value for t in tokens if t.kind != "eof"]
+        assert texts == ["SELECT", "1", "+", "2"]
+
+    def test_parameters(self):
+        tokens = tokenize_sql("@customerId")
+        assert tokens[0].kind == "parameter"
+
+    def test_numbers(self):
+        tokens = tokenize_sql("1 2.5 1e3")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "1e3"]
+
+    def test_garbage_raises(self):
+        with pytest.raises(LexerError):
+            tokenize_sql("SELECT \x01")
+
+
+class TestSelectParsing:
+    def test_four_part_name(self):
+        stmt = parse_sql("SELECT * FROM Dept.Northwind.dbo.Employees")
+        assert stmt.sources[0].parts == (
+            "Dept", "Northwind", "dbo", "Employees"
+        )
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT c.name AS n FROM customer AS c")
+        assert stmt.items[0].alias == "n"
+        assert stmt.sources[0].alias == "c"
+
+    def test_implicit_alias(self):
+        stmt = parse_sql("SELECT 1 x FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.sources[0].alias == "u"
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_sql("SELECT *, c.* FROM t, c")
+        assert isinstance(stmt.items[0].expr, ast.StarExpr)
+        assert stmt.items[1].expr.qualifier == "c"
+
+    def test_join_syntax(self):
+        stmt = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.x "
+            "LEFT OUTER JOIN c ON b.y = c.y"
+        )
+        outer = stmt.sources[0]
+        assert outer.kind == "left_outer"
+        assert outer.left.kind == "inner"
+
+    def test_cross_join(self):
+        stmt = parse_sql("SELECT * FROM a CROSS JOIN b")
+        assert stmt.sources[0].kind == "cross"
+        assert stmt.sources[0].condition is None
+
+    def test_group_by_having_order_by(self):
+        stmt = parse_sql(
+            "SELECT city, COUNT(*) FROM t GROUP BY city "
+            "HAVING COUNT(*) > 2 ORDER BY city DESC"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+
+    def test_distinct_and_top(self):
+        stmt = parse_sql("SELECT DISTINCT TOP 5 a FROM t")
+        assert stmt.distinct
+        assert stmt.top == 5
+
+    def test_union_all(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert len(stmt.union_all) == 1
+
+    def test_union_requires_all(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t UNION SELECT a FROM u")
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 2")
+        assert stmt.sources == []
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(ParseError, match="alias"):
+            parse_sql("SELECT * FROM (SELECT 1)")
+
+    def test_openrowset(self):
+        stmt = parse_sql(
+            "SELECT FS.path FROM OpenRowset('MSIDXS','Cat';'';'', "
+            "'Select Path from SCOPE()') AS FS"
+        )
+        src = stmt.sources[0]
+        assert src.provider == "MSIDXS"
+        assert src.datasource == "Cat"
+        assert src.alias == "FS"
+
+    def test_openquery(self):
+        stmt = parse_sql("SELECT * FROM OPENQUERY(olap, 'native text') q")
+        assert stmt.sources[0].server == "olap"
+
+    def test_maketable_with_table_arg(self):
+        stmt = parse_sql(
+            r"SELECT * FROM MakeTable(Access, d:\a.mdb, Customers) c"
+        )
+        src = stmt.sources[0]
+        assert src.provider == "Access"
+        assert src.table == "Customers"
+
+    def test_empty_schema_part(self):
+        stmt = parse_sql("SELECT * FROM srv.db..t")
+        assert stmt.sources[0].parts == ("srv", "db", "", "t")
+
+
+class TestExpressionParsing:
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.BinaryExpr) and expr.op == "OR"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_between_desugar_target(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.BetweenExpr)
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 5")
+        assert expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = parse_expression("x NOT IN (1)")
+        assert expr.negated
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("x IS NULL").negated is False
+        assert parse_expression("x IS NOT NULL").negated is True
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, ast.LikeExpr)
+
+    def test_exists(self):
+        stmt = parse_sql(
+            "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.x)"
+        )
+        assert isinstance(stmt.where, ast.ExistsExpr)
+
+    def test_scalar_subquery_comparison(self):
+        stmt = parse_sql("SELECT * FROM t WHERE x = (SELECT MAX(x) FROM t)")
+        assert isinstance(stmt.where.right, ast.ScalarSubqueryExpr)
+
+    def test_case_expression(self):
+        expr = parse_expression(
+            "CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END"
+        )
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.whens) == 2
+
+    def test_contains(self):
+        expr = parse_expression("CONTAINS(body, 'word')")
+        assert isinstance(expr, ast.ContainsExpr)
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.star
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.UnaryExpr)
+
+    def test_nested_functions(self):
+        expr = parse_expression("date(today(), -2)")
+        assert expr.name == "date"
+        assert expr.args[0].name == "today"
+
+
+class TestDmlDdlParsing:
+    def test_insert_values_multi_row(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_sql("INSERT INTO t SELECT * FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE id = 2")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE id = 2")
+        assert stmt.where is not None
+
+    def test_create_table_with_checks(self):
+        stmt = parse_sql(
+            "CREATE TABLE li (d datetime NOT NULL CHECK (d >= '1992-1-1'), "
+            "k int PRIMARY KEY, CONSTRAINT big CHECK (k < 100))"
+        )
+        assert stmt.columns[0].not_null
+        assert stmt.columns[0].check is not None
+        assert stmt.columns[1].primary_key
+        assert stmt.table_checks[0][0] == "big"
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert stmt.unique
+        assert stmt.columns == ["a", "b"]
+
+    def test_create_view_captures_text(self):
+        stmt = parse_sql("CREATE VIEW v AS SELECT a FROM t WHERE a > 1")
+        assert stmt.select_sql == "SELECT a FROM t WHERE a > 1"
+
+    def test_create_view_requires_select(self):
+        with pytest.raises(ParseError):
+            parse_sql("CREATE VIEW v AS DELETE FROM t")
+
+    def test_drop_table(self):
+        stmt = parse_sql("DROP TABLE t")
+        assert stmt.table.parts == ("t",)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1 SELECT 2")
+
+    def test_semicolon_tolerated(self):
+        parse_sql("SELECT 1;")

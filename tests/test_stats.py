@@ -1,0 +1,140 @@
+"""Tests for histograms and cardinality estimation (Section 3.2.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import (
+    ColumnStatistics,
+    Histogram,
+    TableStatistics,
+    estimate_comparison_selectivity,
+    estimate_join_selectivity,
+)
+from repro.types import Column, INT, Interval, IntervalSet, Schema, varchar
+
+
+class TestHistogramBuild:
+    def test_empty(self):
+        h = Histogram.build([])
+        assert h.total_rows == 0
+        assert h.estimate_equal(5) == 0.0
+
+    def test_all_nulls(self):
+        h = Histogram.build([None, None])
+        assert h.null_rows == 2
+        assert h.estimate_equal(None) == 0.0
+
+    def test_total_rows_conserved(self):
+        values = list(range(100)) * 3
+        h = Histogram.build(values)
+        assert h.total_rows == 300
+
+    def test_equal_estimate_on_boundary_value_exact(self):
+        values = [1] * 10 + [2] * 20 + [3] * 5
+        h = Histogram.build(values, max_buckets=3)
+        assert h.estimate_equal(h.buckets[0].upper_bound) == \
+            h.buckets[0].equal_rows
+
+    def test_min_max(self):
+        h = Histogram.build([5, 1, 9])
+        assert h.min_value == 1
+        assert h.max_value == 9
+
+    def test_distinct_count(self):
+        h = Histogram.build([1, 1, 2, 3, 3, 3], max_buckets=10)
+        assert h.distinct_count == 3
+
+
+class TestHistogramEstimation:
+    def test_range_estimate_reasonable(self):
+        values = list(range(1000))
+        h = Histogram.build(values, max_buckets=50)
+        domain = IntervalSet([Interval(100, 199, True, True)])
+        estimate = h.estimate_interval_set(domain)
+        assert 50 <= estimate <= 200  # true value is 100
+
+    def test_full_domain_is_all_non_null(self):
+        h = Histogram.build(list(range(50)) + [None] * 5)
+        assert h.estimate_interval_set(IntervalSet.full()) == 50
+
+    def test_empty_domain_is_zero(self):
+        h = Histogram.build(list(range(50)))
+        assert h.estimate_interval_set(IntervalSet.empty()) == 0.0
+
+    def test_skew_detected(self):
+        # one heavy value among many light ones
+        values = [0] * 900 + list(range(1, 101))
+        h = Histogram.build(values, max_buckets=32)
+        heavy = h.estimate_equal(0)
+        light = h.estimate_equal(50)
+        assert heavy > 50 * max(1.0, light)
+
+
+class TestColumnStatistics:
+    def test_build(self):
+        stats = ColumnStatistics.build("c", [1, 1, 2, None])
+        assert stats.distinct_count == 2
+        assert stats.null_count == 1
+
+    def test_selectivity_with_histogram(self):
+        stats = ColumnStatistics.build("c", [1] * 90 + [2] * 10)
+        sel = estimate_comparison_selectivity("=", 2, stats, 100)
+        assert 0.05 <= sel <= 0.15
+
+    def test_selectivity_without_stats_uses_default(self):
+        sel = estimate_comparison_selectivity("=", 2, None, 100)
+        assert sel == 0.1
+
+    def test_range_selectivity(self):
+        stats = ColumnStatistics.build("c", list(range(100)))
+        sel = estimate_comparison_selectivity(">", 89, stats, 100)
+        assert sel <= 0.25
+
+
+class TestJoinSelectivity:
+    def test_uses_max_distinct(self):
+        a = ColumnStatistics("a", None, 100, 0)
+        b = ColumnStatistics("b", None, 10, 0)
+        assert estimate_join_selectivity(a, b) == pytest.approx(0.01)
+
+    def test_defaults_without_stats(self):
+        assert estimate_join_selectivity(None, None) == 0.1
+
+
+class TestTableStatistics:
+    def test_build_from_schema(self):
+        schema = Schema([Column("id", INT), Column("name", varchar(20))])
+        rows = [(i, f"n{i % 4}") for i in range(20)]
+        stats = TableStatistics.build(schema, rows)
+        assert stats.row_count == 20
+        assert stats.column("name").distinct_count == 4
+        assert stats.column("ID") is not None  # case-insensitive
+        assert stats.avg_row_width > 4
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.integers(-50, 50), max_size=200))
+    def test_total_rows_matches_input(self, values):
+        h = Histogram.build(values)
+        assert h.total_rows == len(values)
+
+    @given(
+        st.lists(st.integers(-20, 20), min_size=1, max_size=100),
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+    )
+    def test_estimates_bounded_by_total(self, values, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        h = Histogram.build(values)
+        domain = IntervalSet([Interval(lo, hi, True, True)])
+        estimate = h.estimate_interval_set(domain)
+        assert 0.0 <= estimate <= h.total_rows + 1e-9
+
+    @given(st.lists(st.integers(-20, 20), min_size=1, max_size=100))
+    def test_point_estimates_sum_to_total(self, values):
+        h = Histogram.build(values, max_buckets=100)
+        # with enough buckets every distinct value is a boundary, so
+        # point estimates are exact
+        total = sum(h.estimate_equal(v) for v in set(values))
+        assert total == pytest.approx(len(values))

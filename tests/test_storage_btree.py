@@ -1,0 +1,162 @@
+"""Tests for B-tree indexes, including a hypothesis model check."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConstraintError
+from repro.storage.btree import BTreeIndex, IndexMetadata
+from repro.types.intervals import Interval
+
+
+def make_index(unique=False, columns=("k",), ordinals=(0,)):
+    return BTreeIndex(
+        IndexMetadata("ix", "t", columns, unique), ordinals
+    )
+
+
+class TestBasicOperations:
+    def test_insert_and_seek(self):
+        ix = make_index()
+        ix.insert((5, "five"), 0)
+        ix.insert((3, "three"), 1)
+        assert [rid for __, rid in ix.seek((5,))] == [0]
+
+    def test_seek_missing_key_empty(self):
+        ix = make_index()
+        ix.insert((5, "five"), 0)
+        assert list(ix.seek((4,))) == []
+
+    def test_duplicates_allowed_when_not_unique(self):
+        ix = make_index()
+        ix.insert((5, "a"), 0)
+        ix.insert((5, "b"), 1)
+        assert sorted(rid for __, rid in ix.seek((5,))) == [0, 1]
+
+    def test_unique_rejects_duplicates(self):
+        ix = make_index(unique=True)
+        ix.insert((5, "a"), 0)
+        with pytest.raises(ConstraintError, match="duplicate"):
+            ix.insert((5, "b"), 1)
+
+    def test_unique_allows_null_keys(self):
+        ix = make_index(unique=True)
+        ix.insert((None, "a"), 0)
+        ix.insert((None, "b"), 1)  # NULLs never collide
+        assert len(ix) == 2
+
+    def test_delete_specific_entry(self):
+        ix = make_index()
+        ix.insert((5, "a"), 0)
+        ix.insert((5, "b"), 1)
+        ix.delete((5, "a"), 0)
+        assert [rid for __, rid in ix.seek((5,))] == [1]
+
+    def test_delete_missing_raises(self):
+        ix = make_index()
+        with pytest.raises(ConstraintError, match="not found"):
+            ix.delete((5, "a"), 0)
+
+    def test_scan_is_key_ordered(self):
+        ix = make_index()
+        for i, key in enumerate([5, 1, 9, 3]):
+            ix.insert((key, ""), i)
+        keys = [key[0] for key, __ in ix.scan()]
+        assert keys == [1, 3, 5, 9]
+
+
+class TestRange:
+    def _loaded(self):
+        ix = make_index()
+        for i in range(20):
+            ix.insert((i, f"row{i}"), i)
+        return ix
+
+    def test_closed_range(self):
+        ix = self._loaded()
+        got = [key[0] for key, __ in ix.set_range(Interval(5, 8, True, True))]
+        assert got == [5, 6, 7, 8]
+
+    def test_open_range(self):
+        ix = self._loaded()
+        got = [key[0] for key, __ in ix.set_range(Interval(5, 8, False, False))]
+        assert got == [6, 7]
+
+    def test_unbounded_above(self):
+        ix = self._loaded()
+        got = [key[0] for key, __ in ix.set_range(Interval.at_least(17))]
+        assert got == [17, 18, 19]
+
+    def test_unbounded_below(self):
+        ix = self._loaded()
+        got = [key[0] for key, __ in ix.set_range(Interval.at_most(2))]
+        assert got == [0, 1, 2]
+
+    def test_nulls_excluded_from_ranges(self):
+        ix = make_index()
+        ix.insert((None, "n"), 0)
+        ix.insert((1, "a"), 1)
+        got = [rid for __, rid in ix.set_range(Interval.full())]
+        assert got == [1]
+
+
+class TestCompositeKeys:
+    def test_prefix_seek(self):
+        ix = make_index(columns=("a", "b"), ordinals=(0, 1))
+        ix.insert((1, "x"), 0)
+        ix.insert((1, "y"), 1)
+        ix.insert((2, "x"), 2)
+        assert sorted(rid for __, rid in ix.seek((1,))) == [0, 1]
+        assert [rid for __, rid in ix.seek((1, "y"))] == [1]
+
+    def test_range_with_prefix(self):
+        ix = make_index(columns=("a", "b"), ordinals=(0, 1))
+        for a in (1, 2):
+            for b in range(5):
+                ix.insert((a, b), a * 10 + b)
+        got = [
+            key for key, __ in ix.set_range(
+                Interval(1, 3, True, True), prefix=(2,)
+            )
+        ]
+        assert got == [(2, 1), (2, 2), (2, 3)]
+
+
+class TestModelCheck:
+    """Hypothesis: the index agrees with a naive sorted-list model."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-20, 20), st.integers(0, 1000)),
+            max_size=60,
+        ),
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+    )
+    def test_range_matches_model(self, entries, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        ix = make_index()
+        for rid, (key, payload) in enumerate(entries):
+            ix.insert((key, payload), rid)
+        interval = Interval(lo, hi, True, True)
+        got = sorted(rid for __, rid in ix.set_range(interval))
+        expected = sorted(
+            rid
+            for rid, (key, __) in enumerate(entries)
+            if lo <= key <= hi
+        )
+        assert got == expected
+
+    @given(
+        st.lists(st.integers(-10, 10), min_size=1, max_size=40),
+        st.integers(-10, 10),
+    )
+    def test_seek_matches_model(self, keys, probe):
+        ix = make_index()
+        for rid, key in enumerate(keys):
+            ix.insert((key, rid), rid)
+        got = sorted(rid for __, rid in ix.seek((probe,)))
+        expected = sorted(
+            rid for rid, key in enumerate(keys) if key == probe
+        )
+        assert got == expected

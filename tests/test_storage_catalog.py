@@ -1,0 +1,99 @@
+"""Tests for catalogs, databases, and views."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage import Catalog, Database
+from repro.types import Column, INT, Schema
+
+
+@pytest.fixture
+def database():
+    return Database("testdb")
+
+
+SCHEMA = Schema([Column("id", INT)])
+
+
+class TestDatabase:
+    def test_create_and_lookup(self, database):
+        database.create_table("t", SCHEMA)
+        assert database.table("t").name == "t"
+
+    def test_lookup_case_insensitive(self, database):
+        database.create_table("MyTable", SCHEMA)
+        assert database.table("mytable").name == "MyTable"
+
+    def test_duplicate_rejected(self, database):
+        database.create_table("t", SCHEMA)
+        with pytest.raises(CatalogError, match="already exists"):
+            database.create_table("T", SCHEMA)
+
+    def test_missing_table(self, database):
+        with pytest.raises(CatalogError, match="not found"):
+            database.table("ghost")
+
+    def test_maybe_table(self, database):
+        assert database.maybe_table("ghost") is None
+
+    def test_custom_schema(self, database):
+        database.create_schema("sales")
+        database.create_table("t", SCHEMA, "sales")
+        assert database.table("t", "sales") is not None
+        with pytest.raises(CatalogError):
+            database.table("t")  # not in dbo
+
+    def test_missing_schema(self, database):
+        with pytest.raises(CatalogError, match="schema"):
+            database.create_table("t", SCHEMA, "nope")
+
+    def test_drop_table(self, database):
+        database.create_table("t", SCHEMA)
+        database.drop_table("t")
+        assert database.maybe_table("t") is None
+
+    def test_view_name_collision_with_table(self, database):
+        database.create_table("t", SCHEMA)
+        with pytest.raises(CatalogError):
+            database.create_view("t", "SELECT 1")
+
+    def test_table_name_collision_with_view(self, database):
+        database.create_view("v", "SELECT 1")
+        with pytest.raises(CatalogError):
+            database.create_table("v", SCHEMA)
+
+    def test_views_enumeration(self, database):
+        database.create_view("v", "SELECT 1", is_partitioned=True)
+        views = list(database.views())
+        assert len(views) == 1
+        assert views[0][1].is_partitioned
+
+    def test_tables_enumeration(self, database):
+        database.create_table("a", SCHEMA)
+        database.create_schema("x")
+        database.create_table("b", SCHEMA, "x")
+        names = sorted(t.name for __, t in database.tables())
+        assert names == ["a", "b"]
+
+
+class TestCatalog:
+    def test_default_database(self):
+        catalog = Catalog("master")
+        assert catalog.database().name == "master"
+
+    def test_create_database(self):
+        catalog = Catalog()
+        catalog.create_database("app")
+        assert catalog.database("app").name == "app"
+
+    def test_duplicate_database(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_database("master")
+
+    def test_resolve_table_across_databases(self):
+        catalog = Catalog()
+        catalog.create_database("app")
+        catalog.database("app").create_table("t", SCHEMA)
+        table = catalog.resolve_table("t", database_name="app")
+        assert table.name == "t"

@@ -1,0 +1,82 @@
+"""Tests for heap storage and bookmark semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.storage import Heap
+
+
+class TestHeap:
+    def test_insert_returns_stable_bookmarks(self):
+        heap = Heap()
+        r0 = heap.insert(("a",))
+        r1 = heap.insert(("b",))
+        assert heap.fetch(r0) == ("a",)
+        assert heap.fetch(r1) == ("b",)
+
+    def test_len_counts_live_rows(self):
+        heap = Heap()
+        rid = heap.insert(("a",))
+        heap.insert(("b",))
+        assert len(heap) == 2
+        heap.delete(rid)
+        assert len(heap) == 1
+
+    def test_delete_returns_old_image(self):
+        heap = Heap()
+        rid = heap.insert(("a", 1))
+        assert heap.delete(rid) == ("a", 1)
+
+    def test_fetch_deleted_bookmark_raises(self):
+        heap = Heap()
+        rid = heap.insert(("a",))
+        heap.delete(rid)
+        with pytest.raises(ExecutionError, match="deleted"):
+            heap.fetch(rid)
+
+    def test_fetch_invalid_bookmark_raises(self):
+        heap = Heap()
+        with pytest.raises(ExecutionError, match="invalid"):
+            heap.fetch(99)
+
+    def test_bookmarks_survive_other_deletes(self):
+        heap = Heap()
+        r0 = heap.insert(("a",))
+        r1 = heap.insert(("b",))
+        heap.delete(r0)
+        assert heap.fetch(r1) == ("b",)
+
+    def test_update_in_place(self):
+        heap = Heap()
+        rid = heap.insert(("a",))
+        old = heap.update(rid, ("b",))
+        assert old == ("a",)
+        assert heap.fetch(rid) == ("b",)
+
+    def test_undelete_restores(self):
+        heap = Heap()
+        rid = heap.insert(("a",))
+        heap.delete(rid)
+        heap.undelete(rid, ("a",))
+        assert heap.fetch(rid) == ("a",)
+        assert len(heap) == 1
+
+    def test_undelete_live_slot_raises(self):
+        heap = Heap()
+        rid = heap.insert(("a",))
+        with pytest.raises(ExecutionError):
+            heap.undelete(rid, ("x",))
+
+    def test_scan_yields_live_rows_with_bookmarks(self):
+        heap = Heap()
+        r0 = heap.insert(("a",))
+        r1 = heap.insert(("b",))
+        heap.delete(r0)
+        assert list(heap.scan()) == [(r1, ("b",))]
+
+    def test_rows_skips_tombstones(self):
+        heap = Heap()
+        heap.insert(("a",))
+        rid = heap.insert(("b",))
+        heap.delete(rid)
+        assert list(heap.rows()) == [("a",)]

@@ -1,0 +1,145 @@
+"""Tests for tables: DML, constraints, index maintenance, statistics."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError
+from repro.storage import CheckConstraint, Table, UniqueConstraint
+from repro.types import Column, INT, IntervalSet, Schema, varchar
+
+
+@pytest.fixture
+def table():
+    t = Table(
+        "t",
+        Schema(
+            [
+                Column("id", INT, nullable=False),
+                Column("name", varchar(30)),
+                Column("score", INT),
+            ]
+        ),
+    )
+    return t
+
+
+class TestDml:
+    def test_insert_coerces(self, table):
+        rid = table.insert(("1", "a", 10))
+        assert table.fetch(rid) == (1, "a", 10)
+
+    def test_not_null_from_schema(self, table):
+        with pytest.raises(CatalogError, match="NOT NULL"):
+            table.insert((None, "a", 1))
+
+    def test_update_and_delete(self, table):
+        rid = table.insert((1, "a", 10))
+        table.update(rid, (1, "b", 20))
+        assert table.fetch(rid) == (1, "b", 20)
+        old = table.delete(rid)
+        assert old == (1, "b", 20)
+        assert table.row_count == 0
+
+
+class TestIndexMaintenance:
+    def test_index_backfilled_on_create(self, table):
+        table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        ix = table.create_index("ix_id", ["id"])
+        assert len(ix) == 2
+
+    def test_duplicate_index_name_rejected(self, table):
+        table.create_index("ix_id", ["id"])
+        with pytest.raises(CatalogError, match="already exists"):
+            table.create_index("ix_id", ["id"])
+
+    def test_indexes_track_inserts(self, table):
+        ix = table.create_index("ix_id", ["id"])
+        rid = table.insert((7, "x", 1))
+        assert [r for __, r in ix.seek((7,))] == [rid]
+
+    def test_indexes_track_updates(self, table):
+        ix = table.create_index("ix_id", ["id"])
+        rid = table.insert((7, "x", 1))
+        table.update(rid, (8, "x", 1))
+        assert list(ix.seek((7,))) == []
+        assert [r for __, r in ix.seek((8,))] == [rid]
+
+    def test_indexes_track_deletes(self, table):
+        ix = table.create_index("ix_id", ["id"])
+        rid = table.insert((7, "x", 1))
+        table.delete(rid)
+        assert list(ix.seek((7,))) == []
+
+    def test_failed_unique_insert_rolls_back_cleanly(self, table):
+        table.add_constraint(UniqueConstraint(["id"], primary_key=True))
+        table.insert((1, "a", 10))
+        with pytest.raises(ConstraintError):
+            table.insert((1, "b", 20))
+        # the failed row left no residue
+        assert table.row_count == 1
+        ix = next(iter(table.indexes.values()))
+        assert len(ix) == 1
+
+    def test_failed_unique_update_restores_old_row(self, table):
+        table.add_constraint(UniqueConstraint(["id"], primary_key=True))
+        table.insert((1, "a", 10))
+        rid2 = table.insert((2, "b", 20))
+        with pytest.raises(ConstraintError):
+            table.update(rid2, (1, "b", 20))
+        assert table.fetch(rid2) == (2, "b", 20)
+        ix = next(iter(table.indexes.values()))
+        assert sorted(key[0] for key, __ in ix.scan()) == [1, 2]
+
+
+class TestCheckConstraints:
+    def test_domain_check_enforced(self, table):
+        check = CheckConstraint.from_domain(
+            "ck_score", "score", IntervalSet.from_comparison(">=", 0)
+        )
+        table.add_constraint(check)
+        table.insert((1, "ok", 5))
+        with pytest.raises(ConstraintError, match="ck_score"):
+            table.insert((2, "bad", -1))
+
+    def test_check_passes_on_null(self, table):
+        check = CheckConstraint.from_domain(
+            "ck_score", "score", IntervalSet.from_comparison(">=", 0)
+        )
+        table.add_constraint(check)
+        table.insert((1, "nullish", None))  # UNKNOWN passes, per SQL
+
+    def test_adding_check_validates_existing_rows(self, table):
+        table.insert((1, "bad", -5))
+        check = CheckConstraint.from_domain(
+            "ck_score", "score", IntervalSet.from_comparison(">=", 0)
+        )
+        with pytest.raises(ConstraintError):
+            table.add_constraint(check)
+
+    def test_check_constraints_listing(self, table):
+        check = CheckConstraint.from_domain(
+            "ck", "score", IntervalSet.from_comparison(">", 0)
+        )
+        table.add_constraint(check)
+        table.add_constraint(UniqueConstraint(["id"]))
+        assert table.check_constraints() == [check]
+
+
+class TestStatistics:
+    def test_statistics_reflect_rows(self, table):
+        for i in range(10):
+            table.insert((i, f"n{i}", i % 3))
+        stats = table.statistics
+        assert stats.row_count == 10
+        assert stats.column("score").distinct_count == 3
+
+    def test_statistics_invalidation_on_write(self, table):
+        table.insert((1, "a", 1))
+        first = table.statistics
+        table.insert((2, "b", 2))
+        second = table.statistics
+        assert second.row_count == 2
+        assert second is not first
+
+    def test_schema_version_initial(self, table):
+        assert table.schema_version == 1

@@ -1,0 +1,142 @@
+"""Tests for local transactions and the DTC."""
+
+import pytest
+
+from repro.dtc import TransactionCoordinator
+from repro.errors import TransactionAborted, TransactionError
+from repro.storage import LocalTransaction, Table
+from repro.types import Column, INT, Schema, varchar
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "t", Schema([Column("id", INT), Column("name", varchar(20))])
+    )
+
+
+class TestLocalTransaction:
+    def test_abort_undoes_insert(self, table):
+        txn = LocalTransaction()
+        table.insert((1, "a"), txn=txn)
+        assert table.row_count == 1
+        txn.abort()
+        assert table.row_count == 0
+
+    def test_abort_undoes_delete(self, table):
+        rid = table.insert((1, "a"))
+        txn = LocalTransaction()
+        table.delete(rid, txn=txn)
+        txn.abort()
+        assert table.fetch(rid) == (1, "a")
+
+    def test_abort_undoes_update(self, table):
+        rid = table.insert((1, "a"))
+        txn = LocalTransaction()
+        table.update(rid, (1, "b"), txn=txn)
+        txn.abort()
+        assert table.fetch(rid) == (1, "a")
+
+    def test_abort_undoes_in_reverse_order(self, table):
+        txn = LocalTransaction()
+        rid = table.insert((1, "a"), txn=txn)
+        table.update(rid, (1, "b"), txn=txn)
+        table.delete(rid, txn=txn)
+        txn.abort()
+        assert table.row_count == 0
+
+    def test_abort_restores_index_entries(self, table):
+        ix = table.create_index("ix", ["id"])
+        rid = table.insert((1, "a"))
+        txn = LocalTransaction()
+        table.update(rid, (2, "a"), txn=txn)
+        txn.abort()
+        assert [r for __, r in ix.seek((1,))] == [rid]
+        assert list(ix.seek((2,))) == []
+
+    def test_commit_clears_undo(self, table):
+        txn = LocalTransaction()
+        table.insert((1, "a"), txn=txn)
+        txn.commit()
+        assert txn.pending_actions == 0
+        assert table.row_count == 1
+
+    def test_cannot_abort_committed(self, table):
+        txn = LocalTransaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.abort()
+
+    def test_cannot_record_after_commit(self, table):
+        txn = LocalTransaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            table.insert((1, "a"), txn=txn)
+
+    def test_prepare_votes_yes_then_commit(self, table):
+        txn = LocalTransaction()
+        table.insert((1, "a"), txn=txn)
+        assert txn.prepare() is True
+        txn.commit()
+        assert table.row_count == 1
+
+    def test_failed_prepare_self_aborts(self, table):
+        txn = LocalTransaction()
+        table.insert((1, "a"), txn=txn)
+        txn.fail_on_prepare = True
+        assert txn.prepare() is False
+        assert table.row_count == 0
+
+
+class TestTwoPhaseCommit:
+    def test_commit_across_branches(self, table):
+        other = Table("u", table.schema)
+        dtc = TransactionCoordinator()
+        dtxn = dtc.begin()
+        t1, t2 = LocalTransaction("t1"), LocalTransaction("t2")
+        dtxn.enlist("s1", t1)
+        dtxn.enlist("s2", t2)
+        table.insert((1, "a"), txn=t1)
+        other.insert((2, "b"), txn=t2)
+        dtc.commit(dtxn)
+        assert table.row_count == 1
+        assert other.row_count == 1
+        assert dtc.committed_count == 1
+
+    def test_one_no_vote_aborts_everything(self, table):
+        other = Table("u", table.schema)
+        dtc = TransactionCoordinator()
+        dtxn = dtc.begin()
+        t1, t2 = LocalTransaction("t1"), LocalTransaction("t2")
+        t2.fail_on_prepare = True
+        dtxn.enlist("s1", t1)
+        dtxn.enlist("s2", t2)
+        table.insert((1, "a"), txn=t1)
+        other.insert((2, "b"), txn=t2)
+        with pytest.raises(TransactionAborted, match="s2"):
+            dtc.commit(dtxn)
+        assert table.row_count == 0
+        assert other.row_count == 0
+        assert dtc.aborted_count == 1
+
+    def test_explicit_abort(self, table):
+        dtc = TransactionCoordinator()
+        dtxn = dtc.begin()
+        t1 = LocalTransaction()
+        dtxn.enlist("s1", t1)
+        table.insert((1, "a"), txn=t1)
+        dtc.abort(dtxn)
+        assert table.row_count == 0
+
+    def test_cannot_enlist_after_commit(self):
+        dtc = TransactionCoordinator()
+        dtxn = dtc.begin()
+        dtc.commit(dtxn)
+        with pytest.raises(TransactionError):
+            dtxn.enlist("late", LocalTransaction())
+
+    def test_abort_is_idempotent(self):
+        dtc = TransactionCoordinator()
+        dtxn = dtc.begin()
+        dtxn.abort()
+        dtxn.abort()  # no raise

@@ -1,0 +1,166 @@
+"""Tests for the SQL datatype system."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.types import (
+    BIGINT,
+    BOOL,
+    DATE,
+    DATETIME,
+    FLOAT,
+    INT,
+    common_super_type,
+    infer_type,
+    varchar,
+)
+
+
+class TestCoercion:
+    def test_int_accepts_int(self):
+        assert INT.validate(5) == 5
+
+    def test_int_accepts_integral_float(self):
+        assert INT.validate(5.0) == 5
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeCheckError):
+            INT.validate(5.5)
+
+    def test_int_parses_string(self):
+        assert INT.validate("42") == 42
+
+    def test_int_rejects_bad_string(self):
+        with pytest.raises(TypeCheckError):
+            INT.validate("forty-two")
+
+    def test_bool_coerces_to_int_for_int_type(self):
+        assert INT.validate(True) == 1
+
+    def test_null_passes_every_type(self):
+        for sql_type in (INT, BIGINT, FLOAT, BOOL, DATE, DATETIME, varchar()):
+            assert sql_type.validate(None) is None
+
+    def test_float_accepts_int(self):
+        assert FLOAT.validate(3) == 3.0
+        assert isinstance(FLOAT.validate(3), float)
+
+    def test_bool_accepts_zero_one(self):
+        assert BOOL.validate(0) is False
+        assert BOOL.validate(1) is True
+
+    def test_bool_rejects_two(self):
+        with pytest.raises(TypeCheckError):
+            BOOL.validate(2)
+
+    def test_varchar_length_enforced(self):
+        with pytest.raises(TypeCheckError):
+            varchar(3).validate("toolong")
+
+    def test_varchar_accepts_exact_length(self):
+        assert varchar(3).validate("abc") == "abc"
+
+    def test_varchar_coerces_numbers(self):
+        assert varchar().validate(12) == "12"
+
+    def test_date_parses_iso(self):
+        assert DATE.validate("1992-01-15") == dt.date(1992, 1, 15)
+
+    def test_date_from_datetime_truncates(self):
+        assert DATE.validate(dt.datetime(1992, 1, 15, 10)) == dt.date(1992, 1, 15)
+
+    def test_datetime_widens_date(self):
+        assert DATETIME.validate(dt.date(1992, 1, 15)) == dt.datetime(1992, 1, 15)
+
+    def test_date_rejects_garbage(self):
+        with pytest.raises(TypeCheckError):
+            DATE.validate("not-a-date")
+
+
+class TestLiterals:
+    def test_null_literal(self):
+        assert INT.render_literal(None) == "NULL"
+
+    def test_int_literal(self):
+        assert INT.render_literal(42) == "42"
+
+    def test_string_literal_escapes_quotes(self):
+        assert varchar().render_literal("O'Brien") == "'O''Brien'"
+
+    def test_date_literal(self):
+        assert DATE.render_literal(dt.date(1992, 1, 1)) == "'1992-01-01'"
+
+    def test_datetime_literal_space_separator(self):
+        rendered = DATETIME.render_literal(dt.datetime(1992, 1, 1, 12, 30))
+        assert rendered == "'1992-01-01 12:30:00'"
+
+    def test_bit_literal(self):
+        assert BOOL.render_literal(True) == "1"
+        assert BOOL.render_literal(False) == "0"
+
+
+class TestByteWidths:
+    def test_fixed_widths(self):
+        assert INT.byte_width() == 4
+        assert BIGINT.byte_width() == 8
+        assert FLOAT.byte_width() == 8
+        assert BOOL.byte_width() == 1
+
+    def test_varchar_width_uses_value(self):
+        assert varchar().byte_width("hello") == 7
+
+    def test_varchar_width_estimates_from_max(self):
+        assert varchar(100).byte_width() == 50
+
+
+class TestInference:
+    def test_infer_int(self):
+        assert infer_type(5) == INT
+
+    def test_infer_bigint_for_large(self):
+        assert infer_type(2**40) == BIGINT
+
+    def test_infer_bool(self):
+        assert infer_type(True) == BOOL
+
+    def test_infer_float(self):
+        assert infer_type(1.5) == FLOAT
+
+    def test_infer_date_vs_datetime(self):
+        assert infer_type(dt.date(2000, 1, 1)) == DATE
+        assert infer_type(dt.datetime(2000, 1, 1)) == DATETIME
+
+    def test_infer_string(self):
+        assert infer_type("x").name == "VARCHAR"
+
+
+class TestCommonSuperType:
+    def test_same_type(self):
+        assert common_super_type(INT, INT) == INT
+
+    def test_int_float(self):
+        assert common_super_type(INT, FLOAT) == FLOAT
+
+    def test_int_bigint(self):
+        assert common_super_type(INT, BIGINT) == BIGINT
+
+    def test_date_datetime(self):
+        assert common_super_type(DATE, DATETIME) == DATETIME
+
+    def test_varchar_lengths_take_max(self):
+        merged = common_super_type(varchar(10), varchar(20))
+        assert merged.max_length == 20
+
+    def test_varchar_unbounded_wins(self):
+        merged = common_super_type(varchar(10), varchar())
+        assert merged.max_length is None
+
+    def test_mixed_string_numeric_degrades_to_text(self):
+        assert common_super_type(varchar(5), INT).name == "VARCHAR"
+
+    def test_equality_and_hash(self):
+        assert varchar(5) == varchar(5)
+        assert hash(varchar(5)) == hash(varchar(5))
+        assert varchar(5) != varchar(6)

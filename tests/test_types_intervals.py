@@ -1,0 +1,213 @@
+"""Tests for the interval-set algebra, including hypothesis properties.
+
+The interval sets are the constraint property framework's substrate
+(Section 4.1.5) — pruning correctness rests on this algebra.
+"""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import Interval, IntervalSet, NEG_INF, POS_INF, SortKey
+
+
+class TestInterval:
+    def test_point_contains_only_itself(self):
+        p = Interval.point(5)
+        assert p.contains(5)
+        assert not p.contains(4)
+        assert not p.contains(6)
+
+    def test_open_bounds_exclude_endpoints(self):
+        iv = Interval(1, 10, False, False)
+        assert not iv.contains(1)
+        assert not iv.contains(10)
+        assert iv.contains(5)
+
+    def test_closed_bounds_include_endpoints(self):
+        iv = Interval(1, 10, True, True)
+        assert iv.contains(1)
+        assert iv.contains(10)
+
+    def test_infinite_interval_contains_everything(self):
+        iv = Interval.full()
+        assert iv.contains(-(10**12))
+        assert iv.contains("zebra")
+        assert iv.contains(dt.date(1, 1, 1))
+
+    def test_empty_when_low_above_high(self):
+        assert Interval(10, 1).is_empty()
+
+    def test_empty_when_degenerate_open(self):
+        assert Interval(5, 5, True, False).is_empty()
+        assert not Interval(5, 5, True, True).is_empty()
+
+    def test_intersection(self):
+        a = Interval(0, 10, True, True)
+        b = Interval(5, 15, True, True)
+        c = a.intersect(b)
+        assert c.contains(5) and c.contains(10)
+        assert not c.contains(4) and not c.contains(11)
+
+    def test_disjoint_intersection_empty(self):
+        a = Interval(0, 1, True, True)
+        b = Interval(2, 3, True, True)
+        assert a.intersect(b).is_empty()
+
+    def test_open_closed_boundary_intersection(self):
+        # (50, +inf] vs [20, 20]: the paper's static pruning example
+        a = Interval(50, POS_INF, False, False)
+        b = Interval.point(20)
+        assert a.intersect(b).is_empty()
+
+    def test_adjacent_closed_open_merge(self):
+        a = Interval(0, 5, True, True)
+        b = Interval(5, 10, False, True)
+        assert a.overlaps_or_adjacent(b)
+        hull = a.hull(b)
+        assert hull.contains(0) and hull.contains(10) and hull.contains(5)
+
+    def test_adjacent_open_open_do_not_merge(self):
+        a = Interval(0, 5, True, False)
+        b = Interval(5, 10, False, True)
+        assert not a.overlaps_or_adjacent(b)
+
+
+class TestIntervalSet:
+    def test_paper_example_in_or_between(self):
+        # "CustomerId IN (1, 5) OR CustomerId BETWEEN 50 AND 100"
+        domain = IntervalSet.points([1, 5]).union(
+            IntervalSet([Interval(50, 100, True, True)])
+        )
+        assert domain.contains(1)
+        assert domain.contains(5)
+        assert domain.contains(75)
+        assert not domain.contains(3)
+        assert not domain.contains(101)
+
+    def test_paper_static_pruning_example(self):
+        # domain (50, +inf] vs predicate CustomerId = 20
+        domain = IntervalSet.from_comparison(">", 50)
+        requested = IntervalSet.point(20)
+        assert requested.disjoint_from(domain)
+
+    def test_normalization_merges_overlaps(self):
+        s = IntervalSet(
+            [Interval(0, 5, True, True), Interval(3, 10, True, True)]
+        )
+        assert len(s.intervals) == 1
+
+    def test_from_comparison_ne_is_two_intervals(self):
+        s = IntervalSet.from_comparison("<>", 5)
+        assert len(s.intervals) == 2
+        assert not s.contains(5)
+        assert s.contains(4) and s.contains(6)
+
+    def test_full_and_empty(self):
+        assert IntervalSet.full().is_full()
+        assert IntervalSet.empty().is_empty()
+        assert not IntervalSet.point(1).is_full()
+
+    def test_single_point(self):
+        assert IntervalSet.point(7).single_point() == 7
+        assert IntervalSet.points([1, 2]).single_point() is None
+
+    def test_intersect_distributes(self):
+        a = IntervalSet.points([1, 2, 3])
+        b = IntervalSet([Interval(2, 10, True, True)])
+        c = a.intersect(b)
+        assert c.contains(2) and c.contains(3) and not c.contains(1)
+
+    def test_string_date_endpoint_coercion(self):
+        # CHECK constraints carry string endpoints; probes may be dates
+        domain = IntervalSet(
+            [Interval("1992-1-1", "1993-1-1", True, False)]
+        )
+        assert domain.contains(dt.date(1992, 6, 15))
+        assert not domain.contains(dt.date(1993, 6, 15))
+
+    def test_map_endpoints(self):
+        domain = IntervalSet([Interval("1", "9", True, True)])
+        mapped = domain.map_endpoints(int)
+        assert mapped.contains(5)
+
+    def test_date_partition_domains_disjoint(self):
+        d92 = IntervalSet(
+            [Interval(dt.date(1992, 1, 1), dt.date(1993, 1, 1), True, False)]
+        )
+        d93 = IntervalSet(
+            [Interval(dt.date(1993, 1, 1), dt.date(1994, 1, 1), True, False)]
+        )
+        assert d92.disjoint_from(d93)
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+
+_ints = st.integers(min_value=-100, max_value=100)
+
+
+def _interval_strategy():
+    return st.builds(
+        lambda lo, hi, lc, hc: Interval(min(lo, hi), max(lo, hi), lc, hc),
+        _ints,
+        _ints,
+        st.booleans(),
+        st.booleans(),
+    )
+
+
+def _interval_set_strategy():
+    return st.builds(IntervalSet, st.lists(_interval_strategy(), max_size=5))
+
+
+class TestIntervalSetProperties:
+    @given(_interval_set_strategy(), _ints)
+    def test_union_contains_both_sides(self, s, probe):
+        other = IntervalSet.point(probe)
+        merged = s.union(other)
+        assert merged.contains(probe)
+        # everything s contained stays contained
+        for iv in s.intervals:
+            if not isinstance(iv.low, type(NEG_INF)) and iv.low_closed:
+                assert merged.contains(iv.low)
+
+    @given(_interval_set_strategy(), _interval_set_strategy(), _ints)
+    def test_intersection_semantics(self, a, b, probe):
+        both = a.intersect(b)
+        assert both.contains(probe) == (a.contains(probe) and b.contains(probe))
+
+    @given(_interval_set_strategy(), _interval_set_strategy(), _ints)
+    def test_union_semantics(self, a, b, probe):
+        either = a.union(b)
+        assert either.contains(probe) == (a.contains(probe) or b.contains(probe))
+
+    @given(_interval_set_strategy(), _interval_set_strategy())
+    def test_disjoint_symmetric(self, a, b):
+        assert a.disjoint_from(b) == b.disjoint_from(a)
+
+    @given(_interval_set_strategy())
+    def test_normalization_idempotent(self, s):
+        renormalized = IntervalSet(s.intervals)
+        assert renormalized == s
+
+    @given(_interval_set_strategy())
+    def test_intervals_sorted_and_disjoint(self, s):
+        for left, right in zip(s.intervals, s.intervals[1:]):
+            assert not left.overlaps_or_adjacent(right)
+
+    @given(st.lists(_ints, min_size=1, max_size=8), _ints)
+    def test_points_membership(self, values, probe):
+        s = IntervalSet.points(values)
+        assert s.contains(probe) == (probe in values)
+
+    @given(st.lists(st.one_of(_ints, st.none()), min_size=2, max_size=10))
+    def test_sortkey_total_order(self, values):
+        ordered = sorted(values, key=SortKey)
+        # NULLs first, then ascending
+        nulls = [v for v in ordered if v is None]
+        rest = [v for v in ordered if v is not None]
+        assert ordered == nulls + rest
+        assert rest == sorted(rest)

@@ -1,0 +1,144 @@
+"""Tests for three-valued SQL value semantics."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.types import (
+    date_add_days,
+    sql_add,
+    sql_and,
+    sql_div,
+    sql_eq,
+    sql_ge,
+    sql_gt,
+    sql_is_null,
+    sql_le,
+    sql_like,
+    sql_lt,
+    sql_ne,
+    sql_not,
+    sql_or,
+)
+
+
+class TestComparisons:
+    def test_eq_basic(self):
+        assert sql_eq(1, 1) is True
+        assert sql_eq(1, 2) is False
+
+    def test_eq_null_is_unknown(self):
+        assert sql_eq(None, 1) is None
+        assert sql_eq(1, None) is None
+        assert sql_eq(None, None) is None
+
+    def test_ne(self):
+        assert sql_ne(1, 2) is True
+        assert sql_ne(None, 2) is None
+
+    def test_ordering(self):
+        assert sql_lt(1, 2) is True
+        assert sql_le(2, 2) is True
+        assert sql_gt(3, 2) is True
+        assert sql_ge(2, 3) is False
+
+    def test_int_float_comparable(self):
+        assert sql_eq(2, 2.0) is True
+
+    def test_bool_compares_as_int(self):
+        assert sql_eq(True, 1) is True
+
+    def test_string_number_coercion(self):
+        assert sql_eq("5", 5) is True
+        assert sql_lt("4", 5) is True
+
+    def test_string_date_coercion(self):
+        assert sql_eq("1992-01-01", dt.date(1992, 1, 1)) is True
+        assert sql_lt(dt.date(1991, 12, 31), "1992-01-01") is True
+
+    def test_loose_date_strings(self):
+        assert sql_ge(dt.date(1992, 6, 1), "1992-1-1") is True
+
+    def test_date_datetime_comparable(self):
+        assert sql_lt(dt.date(1992, 1, 1), dt.datetime(1992, 1, 1, 5)) is True
+
+    def test_incomparable_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_lt("abc", dt.date(2000, 1, 1))
+
+
+class TestBooleanLogic:
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False  # FALSE dominates UNKNOWN
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(False, True) is True
+        assert sql_or(True, None) is True  # TRUE dominates UNKNOWN
+        assert sql_or(False, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_is_null_never_unknown(self):
+        assert sql_is_null(None) is True
+        assert sql_is_null(0) is False
+
+
+class TestArithmetic:
+    def test_add_null_propagates(self):
+        assert sql_add(None, 1) is None
+
+    def test_string_concat(self):
+        assert sql_add("a", "b") == "ab"
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert sql_div(7, 2) == 3
+        assert sql_div(-7, 2) == -3
+
+    def test_float_division(self):
+        assert sql_div(7.0, 2) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_div(1, 0)
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert sql_like("hello world", "hello%") is True
+        assert sql_like("hello", "%world") is False
+
+    def test_underscore_wildcard(self):
+        assert sql_like("cat", "c_t") is True
+        assert sql_like("cart", "c_t") is False
+
+    def test_case_insensitive(self):
+        assert sql_like("Seattle", "seat%") is True
+
+    def test_null_pattern_unknown(self):
+        assert sql_like("x", None) is None
+        assert sql_like(None, "%") is None
+
+    def test_regex_metacharacters_escaped(self):
+        assert sql_like("a.b", "a.b") is True
+        assert sql_like("axb", "a.b") is False
+
+
+class TestDateFunctions:
+    def test_date_add_days_backwards(self):
+        base = dt.date(2004, 6, 15)
+        assert date_add_days(base, -2) == dt.date(2004, 6, 13)
+
+    def test_date_add_days_accepts_string(self):
+        assert date_add_days("2004-06-15", 1) == dt.date(2004, 6, 16)
+
+    def test_date_add_null(self):
+        assert date_add_days(None, 5) is None

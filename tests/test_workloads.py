@@ -1,0 +1,131 @@
+"""Tests for the workload generators."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Engine
+from repro.workloads import (
+    build_federation,
+    generate_corpus,
+    generate_mailbox,
+    generate_tpch,
+    load_tpch,
+)
+from repro.workloads.tpcc import new_order, run_new_orders
+
+
+class TestTpch:
+    def test_deterministic(self):
+        a = generate_tpch(customers=20, suppliers=5, seed=1)
+        b = generate_tpch(customers=20, suppliers=5, seed=1)
+        assert a.customer == b.customer
+        assert a.lineitem == b.lineitem
+
+    def test_seed_changes_data(self):
+        a = generate_tpch(customers=20, suppliers=5, seed=1)
+        b = generate_tpch(customers=20, suppliers=5, seed=2)
+        assert a.customer != b.customer
+
+    def test_shapes(self):
+        data = generate_tpch(
+            customers=30, suppliers=4, orders_per_customer=2,
+            lineitems_per_order=3,
+        )
+        assert len(data.nation) == 25
+        assert len(data.region) == 5
+        assert len(data.customer) == 30
+        assert len(data.orders) == 60
+        assert len(data.lineitem) == 180
+
+    def test_referential_shape(self):
+        data = generate_tpch(customers=10, suppliers=3)
+        nation_keys = {n[0] for n in data.nation}
+        assert all(c[3] in nation_keys for c in data.customer)
+        customer_keys = {c[0] for c in data.customer}
+        assert all(o[1] in customer_keys for o in data.orders)
+
+    def test_commit_dates_in_tpch_range(self):
+        data = generate_tpch(customers=10, suppliers=3)
+        for row in data.lineitem:
+            assert dt.date(1992, 1, 1) <= row[5] <= dt.date(1999, 12, 31)
+
+    def test_load_subset_of_tables(self):
+        engine = Engine("t")
+        load_tpch(engine, customers=10, suppliers=2, tables=["nation"])
+        assert engine.execute("SELECT COUNT(*) FROM nation").scalar() == 25
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            engine.execute("SELECT COUNT(*) FROM customer")
+
+
+class TestTpcc:
+    def test_federation_builds(self):
+        federation = build_federation(
+            member_count=2, warehouses_per_member=3,
+            customers_per_warehouse=4,
+        )
+        assert federation.warehouse_count == 6
+        total = federation.coordinator.execute(
+            "SELECT COUNT(*) FROM customer"
+        ).scalar()
+        assert total == 6 * 4
+
+    def test_new_order_routes(self):
+        federation = build_federation(
+            member_count=2, warehouses_per_member=1,
+            customers_per_warehouse=3,
+        )
+        new_order(federation, warehouse_id=2, customer_id=1, amount=10.0)
+        # warehouse 2 lives on member 1
+        assert federation.members[1].execute(
+            "SELECT COUNT(*) FROM orders_1"
+        ).scalar() == 1
+        assert federation.members[0].execute(
+            "SELECT COUNT(*) FROM orders_0"
+        ).scalar() == 0
+
+    def test_missing_customer(self):
+        federation = build_federation(
+            member_count=1, warehouses_per_member=1,
+            customers_per_warehouse=2,
+        )
+        with pytest.raises(LookupError):
+            new_order(federation, 1, 99, 1.0)
+
+    def test_run_commits_all(self):
+        federation = build_federation(
+            member_count=2, warehouses_per_member=1,
+            customers_per_warehouse=5,
+        )
+        assert run_new_orders(federation, 7) == 7
+
+
+class TestMailAndDocs:
+    def test_mailbox_deterministic(self):
+        a = generate_mailbox(message_count=30, seed=5)
+        b = generate_mailbox(message_count=30, seed=5)
+        assert [m.msg_id for m in a.messages] == [m.msg_id for m in b.messages]
+
+    def test_mailbox_replies_reference_existing(self):
+        mailbox = generate_mailbox(message_count=50, seed=5)
+        ids = {m.msg_id for m in mailbox.messages}
+        for message in mailbox.messages:
+            if message.in_reply_to is not None:
+                assert message.in_reply_to in ids
+
+    def test_corpus_formats_mix(self):
+        corpus = generate_corpus(document_count=50, seed=2)
+        extensions = {path.rsplit(".", 1)[-1] for path in corpus}
+        assert "txt" in extensions
+        assert "pdf" in extensions  # unindexable format included on purpose
+
+    def test_corpus_doc_records_wellformed(self):
+        corpus = generate_corpus(document_count=60, seed=2)
+        for path, content in corpus.items():
+            if path.endswith(".doc"):
+                assert all(
+                    line.startswith(("FIELD|", "BODY|"))
+                    for line in content.splitlines()
+                )
