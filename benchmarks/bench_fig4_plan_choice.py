@@ -37,6 +37,15 @@ def world():
     return build_fig4_world()
 
 
+def statement_bytes(result) -> int:
+    """Total wire bytes this statement moved, from the engine's
+    per-statement network attribution (no manual counter resets)."""
+    return sum(
+        int(delta["bytes_sent"] + delta["bytes_received"])
+        for delta in result.network.values()
+    )
+
+
 def test_optimizer_rejects_plan_a(benchmark, world):
     local, __, __c = world
     result = benchmark.pedantic(
@@ -50,20 +59,17 @@ def test_optimizer_rejects_plan_a(benchmark, world):
 
 
 def test_bytes_plan_b_vs_plan_a(benchmark, world):
-    local, __, channel = world
+    local, __, __c = world
 
     def run():
-        channel.stats.reset()
-        rows = len(local.execute(PAPER_SQL).rows)
-        return rows, channel.stats.total_bytes
+        result = local.execute(PAPER_SQL)
+        return len(result.rows), statement_bytes(result)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    channel.stats.reset()
-    rows_b = len(local.execute(PAPER_SQL).rows)
-    bytes_b = channel.stats.total_bytes
-    channel.stats.reset()
-    rows_a = len(local.execute(PLAN_A_FORCED).rows)
-    bytes_a = channel.stats.total_bytes
+    result_b = local.execute(PAPER_SQL)
+    rows_b, bytes_b = len(result_b.rows), statement_bytes(result_b)
+    result_a = local.execute(PLAN_A_FORCED)
+    rows_a, bytes_a = len(result_a.rows), statement_bytes(result_a)
     assert rows_a == rows_b
     assert bytes_b < bytes_a, "plan (b) must move fewer bytes"
     print_table(
@@ -110,19 +116,19 @@ def test_cost_based_beats_push_largest_heuristic(benchmark, world):
     Enable exactly that heuristic and measure what it costs."""
     from repro import OptimizerOptions
 
-    local, __, channel = world
-    channel.stats.reset()
-    cost_based_rows = sorted(local.execute(PAPER_SQL).rows)
-    cost_based_bytes = channel.stats.total_bytes
+    local, __, __c = world
+    cost_based_result = local.execute(PAPER_SQL)
+    cost_based_rows = sorted(cost_based_result.rows)
+    cost_based_bytes = statement_bytes(cost_based_result)
     # a push-first system also would not reorder joins around its pushed
     # subtree, so the heuristic mode runs without phase-2 associativity
     local.optimizer.options = OptimizerOptions(
         prefer_largest_remote_subtree=True, max_phase=1
     )
     try:
-        channel.stats.reset()
-        heuristic_rows = sorted(local.execute(PAPER_SQL).rows)
-        heuristic_bytes = channel.stats.total_bytes
+        heuristic_result = local.execute(PAPER_SQL)
+        heuristic_rows = sorted(heuristic_result.rows)
+        heuristic_bytes = statement_bytes(heuristic_result)
     finally:
         local.optimizer.options = OptimizerOptions()
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

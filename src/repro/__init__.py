@@ -32,6 +32,7 @@ from repro.network.channel import NetworkChannel
 from repro.core.optimizer import OptimizerOptions
 from repro.core.cost import CostModel
 from repro.fulltext.service import FullTextService
+from repro.observability import MetricsRegistry, PlanProfiler, QueryTrace
 
 __version__ = "1.0.0"
 
@@ -43,5 +44,8 @@ __all__ = [
     "OptimizerOptions",
     "CostModel",
     "FullTextService",
+    "MetricsRegistry",
+    "PlanProfiler",
+    "QueryTrace",
     "__version__",
 ]

@@ -114,7 +114,7 @@ class PhaseStats:
     """Search-effort counters for one phase (experiment E9)."""
 
     __slots__ = ("phase", "rules_fired", "expressions_added", "groups_optimized",
-                 "best_cost")
+                 "best_cost", "rule_counts")
 
     def __init__(self, phase: int):
         self.phase = phase
@@ -122,6 +122,8 @@ class PhaseStats:
         self.expressions_added = 0
         self.groups_optimized = 0
         self.best_cost = float("inf")
+        #: per-rule-name firing counts for this phase
+        self.rule_counts: Dict[str, int] = {}
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -130,6 +132,7 @@ class PhaseStats:
             "expressions_added": self.expressions_added,
             "groups_optimized": self.groups_optimized,
             "best_cost": self.best_cost,
+            "rule_counts": dict(self.rule_counts),
         }
 
 
@@ -154,8 +157,29 @@ class OptimizationResult:
     def final_phase(self) -> int:
         return self.phase_stats[-1].phase if self.phase_stats else -1
 
-    def explain(self) -> str:
-        return self.plan.tree_repr()
+    def explain(self, verbose: bool = False) -> str:
+        """The plan tree; with ``verbose``, followed by memo statistics
+        (group/expression totals, per-phase search effort and per-rule
+        firing counts) in stable text form."""
+        if not verbose:
+            return self.plan.tree_repr()
+        lines = [self.plan.tree_repr(), "-- memo --"]
+        lines.append(
+            f"memo: groups={self.memo.group_count} "
+            f"expressions={self.memo.expression_count}"
+        )
+        for stats in self.phase_stats:
+            lines.append(
+                f"phase {stats.phase}: rules_fired={stats.rules_fired} "
+                f"expressions_added={stats.expressions_added} "
+                f"groups_optimized={stats.groups_optimized} "
+                f"best_cost={stats.best_cost:.3f}"
+            )
+            for rule_name in sorted(stats.rule_counts):
+                lines.append(
+                    f"  rule {rule_name}: fired={stats.rule_counts[rule_name]}"
+                )
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (
@@ -179,6 +203,9 @@ class Optimizer:
         self._rules = default_exploration_rules()
         self._guidance = guidance_index(self._rules)
         self._cid_counter = itertools.count(1_000_000)
+        #: optional QueryTrace receiving rule_fired events; the engine
+        #: sets this around optimize() when tracing is enabled
+        self.trace: Optional[Any] = None
 
     def linked_server(self, name: str) -> Optional[Any]:
         return self._linked_servers.get(name.lower())
@@ -247,6 +274,13 @@ class Optimizer:
                     added = rule.apply(expr, context)
                     self._stats.rules_fired += 1
                     self._stats.expressions_added += added
+                    self._stats.rule_counts[rule.name] = (
+                        self._stats.rule_counts.get(rule.name, 0) + 1
+                    )
+                    if self.trace is not None:
+                        self.trace.rule_fired(
+                            rule.name, self.phase, group.gid, added
+                        )
                     if added:
                         changed = True
 

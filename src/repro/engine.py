@@ -21,6 +21,8 @@ Typical use::
 
 from __future__ import annotations
 
+import json
+import time
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.algebra.logical import LogicalOp
@@ -34,6 +36,10 @@ from repro.execution.context import ExecutionContext
 from repro.execution.executor import execute_plan
 from repro.fulltext.service import FullTextService
 from repro.network.channel import NetworkChannel
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profile import PlanProfiler, render_analyze
+from repro.observability.trace import QueryTrace
+from repro.observability.views import QueryStatsEntry, system_view
 from repro.oledb.datasource import DataSource
 from repro.oledb.rowset import MaterializedRowset, Rowset
 from repro.providers.sqlserver import SqlServerDataSource
@@ -67,6 +73,16 @@ class QueryResult:
         self.context = context
         #: affected-row count for DML statements
         self.rowcount = rowcount if rowcount is not None else len(rows)
+        #: per-operator runtime profile (PlanProfiler) when profiling ran
+        self.profile: Optional[PlanProfiler] = None
+        #: structured trace (QueryTrace) when tracing was enabled
+        self.trace: Optional[QueryTrace] = None
+        #: per-linked-server network attribution for this statement:
+        #: {server_name: {bytes_sent, bytes_received, round_trips,
+        #: simulated_ms}} — only servers with nonzero traffic appear
+        self.network: Dict[str, Dict[str, float]] = {}
+        #: wall-clock time for the whole statement
+        self.elapsed_ms: float = 0.0
 
     def scalar(self) -> Any:
         """First column of the first row (aggregate shortcuts)."""
@@ -76,6 +92,22 @@ class QueryResult:
 
     def as_dicts(self) -> list[dict[str, Any]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Rows plus whatever telemetry this execution captured."""
+        payload: Dict[str, Any] = {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "rowcount": self.rowcount,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+        if self.network:
+            payload["network"] = self.network
+        if self.profile is not None and self.plan is not None:
+            payload["profile"] = self.profile.as_rows(self.plan)
+        if self.trace is not None:
+            payload["trace"] = self.trace.as_dict()
+        return json.dumps(payload, indent=indent, default=str)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -111,6 +143,17 @@ class ServerInstance:
         #: Halloween protection switch (E14 flips this off to show why
         #: the spool exists)
         self.halloween_protection = True
+        #: always-on instrument registry (sys.dm_os_performance_counters)
+        self.metrics = MetricsRegistry(name)
+        #: structured tracing switch: off by default; when on, every
+        #: execute() gets a QueryTrace with parse/bind/optimize/execute
+        #: spans, rule firings and network attribution
+        self.tracing_enabled = False
+        #: per-operator profiling switch (EXPLAIN ANALYZE profiles
+        #: regardless of this flag)
+        self.profiling_enabled = False
+        #: per-statement aggregates (sys.dm_exec_query_stats), bounded
+        self.query_stats: Dict[str, QueryStatsEntry] = {}
 
     # ==================================================================
     # linked servers & providers
@@ -254,6 +297,62 @@ class ServerInstance:
             (database.lower(), schema_name.lower(), table_name.lower())
         )
 
+    def system_view(self, view_name: str) -> Optional[tuple]:
+        """``sys.<view_name>`` DMV snapshot for the binder."""
+        return system_view(self, view_name)
+
+    # ==================================================================
+    # observability
+    # ==================================================================
+    def _network_snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            key: server.channel.stats.snapshot()
+            for key, server in self.linked_servers.items()
+            if server.channel is not None
+        }
+
+    def _network_delta(
+        self, before: Dict[str, Dict[str, float]]
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-server traffic since ``before``, omitting idle servers."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, server in self.linked_servers.items():
+            channel = server.channel
+            if channel is None:
+                continue
+            base = before.get(key)
+            delta = (
+                channel.stats.delta(base)
+                if base is not None
+                else channel.stats.snapshot()
+            )
+            if any(delta.values()):
+                out[server.name] = delta
+        return out
+
+    #: bound on distinct statement texts kept in query_stats
+    MAX_QUERY_STATS = 256
+
+    def _record_query_stats(
+        self,
+        sql_text: str,
+        result: QueryResult,
+        elapsed_ms: float,
+        network: Dict[str, Dict[str, float]],
+    ) -> None:
+        entry = self.query_stats.get(sql_text)
+        if entry is None:
+            if len(self.query_stats) >= self.MAX_QUERY_STATS:
+                self.query_stats.pop(next(iter(self.query_stats)))
+            entry = QueryStatsEntry(sql_text)
+            self.query_stats[sql_text] = entry
+        nbytes = sum(
+            int(d["bytes_sent"] + d["bytes_received"])
+            for d in network.values()
+        )
+        trips = sum(int(d["round_trips"]) for d in network.values())
+        entry.record(len(result.rows), elapsed_ms, nbytes, trips)
+
     # ==================================================================
     # SqlBackend protocol (what our own OLE DB provider fronts)
     # ==================================================================
@@ -291,12 +390,45 @@ class ServerInstance:
 
         ``txn`` attaches DML effects to a local transaction branch (the
         path distributed transactions arrive through).
+
+        Every statement is timed and its linked-server traffic is
+        attributed by snapshot/diff of the channel counters, so the
+        result carries exact ``network`` totals; with
+        ``tracing_enabled`` it also carries a structured QueryTrace.
         """
-        stmt = parse_sql(sql_text)
+        trace = QueryTrace(sql_text) if self.tracing_enabled else None
+        started = time.perf_counter()
+        before = self._network_snapshot()
+        if trace is not None:
+            with trace.span("parse"):
+                stmt = parse_sql(sql_text)
+        else:
+            stmt = parse_sql(sql_text)
+        result = self._dispatch_statement(stmt, params, txn, trace)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        network = self._network_delta(before)
+        result.network = network
+        result.elapsed_ms = elapsed_ms
+        result.trace = trace
+        if trace is not None:
+            for server, delta in network.items():
+                trace.network(server, delta)
+        self._record_query_stats(sql_text, result, elapsed_ms, network)
+        self.metrics.increment("engine.statements")
+        self.metrics.observe("engine.statement_ms", elapsed_ms)
+        return result
+
+    def _dispatch_statement(
+        self,
+        stmt: ast.Statement,
+        params: Optional[Dict[str, Any]],
+        txn: Optional[LocalTransaction],
+        trace: Optional[QueryTrace],
+    ) -> QueryResult:
         if isinstance(stmt, ast.SelectStmt):
-            return self._execute_select(stmt, params)
+            return self._execute_select(stmt, params, trace=trace)
         if isinstance(stmt, ast.ExplainStmt):
-            return self._execute_explain(stmt)
+            return self._execute_explain(stmt, params, trace=trace)
         if isinstance(stmt, ast.InsertStmt):
             return self._execute_insert(stmt, params, txn)
         if isinstance(stmt, ast.UpdateStmt):
@@ -318,24 +450,72 @@ class ServerInstance:
             return QueryResult([], [], rowcount=0)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
 
-    def _execute_explain(self, stmt: ast.ExplainStmt) -> QueryResult:
-        """EXPLAIN SELECT ...: one plan-tree line per row, plus phase
-        telemetry as trailing rows."""
+    def _execute_explain(
+        self,
+        stmt: ast.ExplainStmt,
+        params: Optional[Dict[str, Any]] = None,
+        trace: Optional[QueryTrace] = None,
+    ) -> QueryResult:
+        """EXPLAIN [ANALYZE] [VERBOSE] SELECT ...: one plan-tree line
+        per row, plus phase telemetry as trailing rows.
+
+        ANALYZE executes the plan under a profiler and annotates each
+        operator with actual rows and open/next/close timings plus the
+        statement's per-server network traffic; VERBOSE appends memo
+        statistics (groups, expressions, per-rule firing counts).
+        """
         bound = Binder(self).bind_select(stmt.select)
-        optimization = self.optimizer.optimize(bound.root)
-        lines = optimization.plan.tree_repr().splitlines()
+        optimization = self._optimize_traced(bound.root, trace)
+        ctx: Optional[ExecutionContext] = None
+        profiler: Optional[PlanProfiler] = None
+        if stmt.analyze:
+            profiler = PlanProfiler()
+            ctx = ExecutionContext(
+                params,
+                subquery_executor=self._run_subquery,
+                profiler=profiler,
+                metrics=self.metrics,
+                trace=trace,
+            )
+            before = self._network_snapshot()
+            execute_plan(optimization.plan, ctx)
+            network = self._network_delta(before)
+            lines = render_analyze(optimization.plan, profiler, network)
+            if stmt.verbose:
+                verbose_lines = optimization.explain(verbose=True).splitlines()
+                lines.extend(
+                    verbose_lines[verbose_lines.index("-- memo --"):]
+                )
+        else:
+            lines = optimization.explain(verbose=stmt.verbose).splitlines()
         lines.append("--")
         for phase in optimization.phase_stats:
             lines.append(
                 f"phase {phase.phase}: cost={phase.best_cost:.3f} "
                 f"rules={phase.rules_fired} groups={phase.groups_optimized}"
             )
-        return QueryResult(
+        result = QueryResult(
             [(line,) for line in lines],
             ["plan"],
             optimization.plan,
             optimization,
+            ctx,
         )
+        result.profile = profiler
+        return result
+
+    def _optimize_traced(
+        self, root: LogicalOp, trace: Optional[QueryTrace]
+    ) -> OptimizationResult:
+        """Optimize with rule-firing events routed to ``trace``."""
+        if trace is None:
+            return self.optimizer.optimize(root)
+        self.optimizer.trace = trace
+        try:
+            with trace.span("optimize"):
+                return self.optimizer.optimize(root)
+        finally:
+            self.optimizer.trace = None
 
     def plan(self, sql_text: str) -> OptimizationResult:
         """Optimize a SELECT without executing it (EXPLAIN)."""
@@ -346,23 +526,43 @@ class ServerInstance:
         return self.optimizer.optimize(bound.root)
 
     def _execute_select(
-        self, stmt: ast.SelectStmt, params: Optional[Dict[str, Any]]
+        self,
+        stmt: ast.SelectStmt,
+        params: Optional[Dict[str, Any]],
+        trace: Optional[QueryTrace] = None,
     ) -> QueryResult:
-        bound = Binder(self).bind_select(stmt)
-        optimization = self.optimizer.optimize(bound.root)
+        if trace is not None:
+            with trace.span("bind"):
+                bound = Binder(self).bind_select(stmt)
+        else:
+            bound = Binder(self).bind_select(stmt)
+        optimization = self._optimize_traced(bound.root, trace)
+        profiler = PlanProfiler() if self.profiling_enabled else None
         ctx = ExecutionContext(
-            params, subquery_executor=self._run_subquery
+            params,
+            subquery_executor=self._run_subquery,
+            profiler=profiler,
+            metrics=self.metrics,
+            trace=trace,
         )
-        rows = execute_plan(optimization.plan, ctx)
+        if trace is not None:
+            with trace.span("execute"):
+                rows = execute_plan(optimization.plan, ctx)
+        else:
+            rows = execute_plan(optimization.plan, ctx)
         # align plan output order with the bound output defs
         rows = _reorder_output(rows, optimization.plan, bound)
-        return QueryResult(
+        result = QueryResult(
             rows, bound.output_names, optimization.plan, optimization, ctx
         )
+        result.profile = profiler
+        return result
 
     def _run_subquery(self, root: LogicalOp) -> list[tuple]:
         optimization = self.optimizer.optimize(root)
-        ctx = ExecutionContext(subquery_executor=self._run_subquery)
+        ctx = ExecutionContext(
+            subquery_executor=self._run_subquery, metrics=self.metrics
+        )
         rows = execute_plan(optimization.plan, ctx)
         ids = list(optimization.plan.output_ids())
         wanted = list(root.output_ids())

@@ -1,10 +1,23 @@
-"""Execution context: parameters, spool caches, telemetry."""
+"""Execution context: parameters, spool caches, telemetry.
+
+Telemetry flows through the ``record_*`` hooks rather than ad-hoc
+increments at operator sites: each hook maintains the context's summary
+counters, feeds the engine's metrics registry when one is attached, and
+emits trace/profile events when those recorders are enabled.  With
+observability off every hook costs a counter add plus three ``is None``
+tests.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.algebra.expressions import Literal, ScalarExpr, ScalarSubquery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.profile import PlanProfiler
+    from repro.observability.trace import QueryTrace
 
 
 class ExecutionContext:
@@ -15,6 +28,9 @@ class ExecutionContext:
         params: Optional[Dict[str, Any]] = None,
         subquery_executor: Optional[Callable[[Any], list]] = None,
         validate_schemas: bool = True,
+        profiler: Optional["PlanProfiler"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        trace: Optional["QueryTrace"] = None,
     ):
         #: @parameter values for this execution
         self.params = dict(params or {})
@@ -24,11 +40,56 @@ class ExecutionContext:
         self.validate_schemas = validate_schemas
         #: per-execution spool materializations (plan-node id -> rows)
         self.spool_cache: Dict[int, list] = {}
-        #: telemetry
+        #: observability recorders (all optional; None = off)
+        self.profiler = profiler
+        self.metrics = metrics
+        self.trace = trace
+        #: summary counters, maintained by the record_* hooks below
         self.rows_produced = 0
         self.remote_queries_executed = 0
         self.startup_filters_skipped = 0
         self.spool_rescans = 0
+
+    # ------------------------------------------------------------------
+    # telemetry hooks (the single reporting path for all operators)
+    # ------------------------------------------------------------------
+    def record_rows_produced(self, count: int) -> None:
+        self.rows_produced += count
+        if self.metrics is not None:
+            self.metrics.increment("executor.rows_produced", count)
+
+    def record_startup_skip(self, plan: Any) -> None:
+        """A startup filter pruned its subtree without opening it."""
+        self.startup_filters_skipped += 1
+        if self.metrics is not None:
+            self.metrics.increment("executor.startup_filters_skipped")
+        if self.profiler is not None:
+            self.profiler.record_startup_skip(plan)
+        if self.trace is not None:
+            self.trace.event(
+                "startup_filter_skip", predicate=repr(plan.predicate)
+            )
+
+    def record_remote_query(
+        self, server_name: str, sql_text: Optional[str] = None
+    ) -> None:
+        """A SQL statement was shipped to a remote provider."""
+        self.remote_queries_executed += 1
+        if self.metrics is not None:
+            self.metrics.increment("executor.remote_queries")
+        if self.trace is not None:
+            self.trace.event(
+                "remote_query", server=server_name, sql=sql_text
+            )
+
+    def record_spool_rescan(self, plan: Any) -> None:
+        """A spool served its materialization again without re-opening
+        the child (Section 4.1.4)."""
+        self.spool_rescans += 1
+        if self.metrics is not None:
+            self.metrics.increment("executor.spool_rescans")
+        if self.trace is not None:
+            self.trace.event("spool_rescan", reason=plan.reason)
 
     def resolve_scalar_subqueries(self, expr: ScalarExpr) -> ScalarExpr:
         """Replace ScalarSubquery nodes with their (once-evaluated)

@@ -45,7 +45,19 @@ def compile_expr(
 
 
 def open_plan(plan: P.PhysicalOp, ctx: ExecutionContext) -> Iterator[Row]:
-    """Open a physical plan into a fresh iterator (re-openable)."""
+    """Open a physical plan into a fresh iterator (re-openable).
+
+    When the context carries a profiler, every operator's row stream is
+    wrapped with per-node row/time accounting; otherwise the iterator is
+    returned untouched (one ``is None`` test per open).
+    """
+    rows = _dispatch(plan, ctx)
+    if ctx.profiler is not None:
+        return ctx.profiler.instrument(plan, rows)
+    return rows
+
+
+def _dispatch(plan: P.PhysicalOp, ctx: ExecutionContext) -> Iterator[Row]:
     if isinstance(plan, P.TableScan):
         return run_table_scan(plan, ctx)
     if isinstance(plan, P.IndexRange):
@@ -98,7 +110,7 @@ def execute_plan(
     """Run a plan to completion."""
     ctx = ctx or ExecutionContext()
     rows = list(open_plan(plan, ctx))
-    ctx.rows_produced += len(rows)
+    ctx.record_rows_produced(len(rows))
     return rows
 
 
@@ -122,7 +134,7 @@ def _run_startup_filter(
     variable contains a value in the domain")."""
     predicate = compile_expr(plan.predicate, {}, ctx)
     if predicate((), ctx.params) is not True:
-        ctx.startup_filters_skipped += 1
+        ctx.record_startup_skip(plan)
         return iter(())
     return open_plan(plan.child, ctx)
 
@@ -154,7 +166,7 @@ def _run_spool(plan: P.Spool, ctx: ExecutionContext) -> Iterator[Row]:
     if cache_key not in ctx.spool_cache:
         ctx.spool_cache[cache_key] = list(open_plan(plan.child, ctx))
     else:
-        ctx.spool_rescans += 1
+        ctx.record_spool_rescan(plan)
     return iter(ctx.spool_cache[cache_key])
 
 

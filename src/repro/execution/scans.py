@@ -142,7 +142,7 @@ def run_remote_query(
             compiled = expr.compile(layout)
             values.append(compiled(outer_row, ctx.params))
         command.bind_parameters(values)
-    ctx.remote_queries_executed += 1
+    ctx.record_remote_query(server.name, plan.sql_text)
     rowset = command.execute()
     return iter(rowset)
 
@@ -155,7 +155,7 @@ def run_provider_rowset(
     if node.command_text is not None:
         command = session.create_command()
         command.set_text(node.command_text)
-        ctx.remote_queries_executed += 1
+        ctx.record_remote_query(node.label, node.command_text)
         return iter(command.execute())
     return iter(session.open_rowset(node.rowset_name))
 

@@ -52,6 +52,16 @@ class NetworkStats:
             "simulated_ms": self.simulated_ms,
         }
 
+    def delta(self, before: dict[str, float]) -> dict[str, float]:
+        """Difference against an earlier :meth:`snapshot` — the traffic
+        attributable to whatever ran between the two points."""
+        return {
+            "bytes_sent": self.bytes_sent - before["bytes_sent"],
+            "bytes_received": self.bytes_received - before["bytes_received"],
+            "round_trips": self.round_trips - before["round_trips"],
+            "simulated_ms": self.simulated_ms - before["simulated_ms"],
+        }
+
     def __repr__(self) -> str:
         return (
             f"NetworkStats(sent={self.bytes_sent}B, recv={self.bytes_received}B, "

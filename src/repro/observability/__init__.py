@@ -1,0 +1,43 @@
+"""Engine-wide observability: metrics, query traces, operator profiles,
+and DMV-style system views.
+
+Production SQL Server is operable because of its instrumentation —
+``SET STATISTICS PROFILE`` actual plans, optimizer trace flags, and the
+``sys.dm_*`` dynamic management views.  This package is the
+reproduction's equivalent surface:
+
+* :class:`~repro.observability.metrics.MetricsRegistry` — per-instance
+  counters / gauges / histograms, dumped by
+  ``sys.dm_os_performance_counters``.
+* :class:`~repro.observability.trace.QueryTrace` — structured span
+  events for parse/bind/optimize/execute, optimizer rule firings, and
+  per-linked-server network attribution.  Off by default; a disabled
+  engine records no events.
+* :class:`~repro.observability.profile.PlanProfiler` — per-operator
+  actual rows, open/next/close time, and rescans, rendered as an
+  annotated actual-vs-estimated plan by ``EXPLAIN ANALYZE``.
+* :mod:`~repro.observability.views` — the virtual tables
+  ``sys.dm_exec_query_stats``, ``sys.dm_exec_connections`` and
+  ``sys.dm_os_performance_counters``, resolvable by the binder and
+  queryable with ordinary SELECTs.
+"""
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.profile import OperatorProfile, PlanProfiler, render_analyze
+from repro.observability.trace import QueryTrace, SpanEvent, TraceEvent
+from repro.observability.views import system_view, system_view_names
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorProfile",
+    "PlanProfiler",
+    "render_analyze",
+    "QueryTrace",
+    "SpanEvent",
+    "TraceEvent",
+    "system_view",
+    "system_view_names",
+]

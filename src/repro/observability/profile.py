@@ -1,0 +1,186 @@
+"""Per-operator runtime profiles (``SET STATISTICS PROFILE`` analogue).
+
+When profiling is enabled on an :class:`~repro.execution.context.ExecutionContext`,
+the plan interpreter routes every operator's row stream through
+:meth:`PlanProfiler.instrument`, which records per plan node:
+
+* ``actual_rows`` — rows the operator produced (summed over re-opens);
+* ``opens`` — how many times the operator was opened (``opens - 1``
+  rescans, the interesting number over remote sources);
+* ``open_ms`` — time spent producing the *first* row (where pipeline
+  breakers like hash-join build or sort actually do their work);
+* ``next_ms`` — time spent producing the remaining rows;
+* ``close_ms`` — time spent in the exhausting call (StopIteration);
+* ``startup_skips`` — times a startup filter pruned the subtree without
+  opening it (Section 4.1.5 runtime pruning, visible per node).
+
+``render_analyze`` prints the plan tree annotated with estimated vs.
+actual rows so cardinality misestimates are visible at a glance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, Optional
+
+
+class OperatorProfile:
+    """Runtime counters for one physical plan node."""
+
+    __slots__ = (
+        "label",
+        "est_rows",
+        "actual_rows",
+        "opens",
+        "open_ms",
+        "next_ms",
+        "close_ms",
+        "startup_skips",
+    )
+
+    def __init__(self, label: str, est_rows: float):
+        self.label = label
+        self.est_rows = est_rows
+        self.actual_rows = 0
+        self.opens = 0
+        self.open_ms = 0.0
+        self.next_ms = 0.0
+        self.close_ms = 0.0
+        self.startup_skips = 0
+
+    @property
+    def rescans(self) -> int:
+        return max(0, self.opens - 1)
+
+    @property
+    def total_ms(self) -> float:
+        return self.open_ms + self.next_ms + self.close_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "operator": self.label,
+            "est_rows": round(self.est_rows, 1),
+            "actual_rows": self.actual_rows,
+            "opens": self.opens,
+            "rescans": self.rescans,
+            "open_ms": round(self.open_ms, 3),
+            "next_ms": round(self.next_ms, 3),
+            "close_ms": round(self.close_ms, 3),
+            "startup_skips": self.startup_skips,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorProfile({self.label}: actual={self.actual_rows}, "
+            f"est={self.est_rows:.1f}, {self.total_ms:.3f}ms)"
+        )
+
+
+class PlanProfiler:
+    """Collects :class:`OperatorProfile` objects for one plan execution.
+
+    Profiles are keyed by plan-node identity; a subtree the optimizer
+    shares between two plan positions (or a re-opened inner) accumulates
+    into one profile, mirroring how the spool cache is keyed.
+    """
+
+    def __init__(self) -> None:
+        self.profiles: Dict[int, OperatorProfile] = {}
+
+    def profile_for(self, plan: Any) -> OperatorProfile:
+        key = id(plan)
+        profile = self.profiles.get(key)
+        if profile is None:
+            profile = OperatorProfile(type(plan).__name__, plan.est_rows)
+            self.profiles[key] = profile
+        return profile
+
+    def lookup(self, plan: Any) -> Optional[OperatorProfile]:
+        return self.profiles.get(id(plan))
+
+    def record_startup_skip(self, plan: Any) -> None:
+        self.profile_for(plan).startup_skips += 1
+
+    def instrument(self, plan: Any, rows: Iterator[tuple]) -> Iterator[tuple]:
+        """Wrap an operator's row stream with timing/row accounting."""
+        profile = self.profile_for(plan)
+        profile.opens += 1
+        first = True
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(rows)
+            except StopIteration:
+                profile.close_ms += (time.perf_counter() - started) * 1000.0
+                return
+            elapsed = (time.perf_counter() - started) * 1000.0
+            if first:
+                profile.open_ms += elapsed
+                first = False
+            else:
+                profile.next_ms += elapsed
+            profile.actual_rows += 1
+            yield row
+
+    def as_rows(self, plan: Any) -> list[Dict[str, Any]]:
+        """Pre-order operator dicts for structured consumption."""
+        out = []
+        for depth, node in _walk_depth(plan, 0):
+            profile = self.lookup(node)
+            entry = (
+                profile.as_dict()
+                if profile is not None
+                else OperatorProfile(type(node).__name__, node.est_rows).as_dict()
+            )
+            entry["depth"] = depth
+            out.append(entry)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __repr__(self) -> str:
+        return f"PlanProfiler({len(self.profiles)} operators)"
+
+
+def _walk_depth(plan: Any, depth: int):
+    yield depth, plan
+    for child in plan.children:
+        yield from _walk_depth(child, depth + 1)
+
+
+def render_analyze(
+    plan: Any,
+    profiler: PlanProfiler,
+    network: Optional[Dict[str, Dict[str, float]]] = None,
+) -> list[str]:
+    """The EXPLAIN ANALYZE text: plan tree + actual-vs-estimated
+    annotations, followed by per-linked-server network attribution."""
+    lines: list[str] = []
+    for depth, node in _walk_depth(plan, 0):
+        profile = profiler.lookup(node)
+        if profile is None:
+            annotation = "[never executed]"
+        elif profile.opens == 0 and profile.startup_skips > 0:
+            annotation = f"[skipped by startup filter x{profile.startup_skips}]"
+        else:
+            annotation = (
+                f"[actual={profile.actual_rows} est={profile.est_rows:.1f} "
+                f"opens={profile.opens} open={profile.open_ms:.3f}ms "
+                f"next={profile.next_ms:.3f}ms close={profile.close_ms:.3f}ms]"
+            )
+            if profile.startup_skips:
+                annotation = annotation[:-1] + (
+                    f" startup_skips={profile.startup_skips}]"
+                )
+        lines.append("  " * depth + repr(node) + " " + annotation)
+    if network:
+        lines.append("-- network --")
+        for server, delta in sorted(network.items()):
+            lines.append(
+                f"{server}: sent={int(delta['bytes_sent'])}B "
+                f"recv={int(delta['bytes_received'])}B "
+                f"round_trips={int(delta['round_trips'])} "
+                f"simulated={delta['simulated_ms']:.2f}ms"
+            )
+    return lines

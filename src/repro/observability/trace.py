@@ -1,0 +1,131 @@
+"""Structured query traces.
+
+A :class:`QueryTrace` collects ordered events for one statement:
+
+* **spans** — parse / bind / optimize / execute with wall-clock start
+  and duration;
+* **rule firings** — one event per optimizer rule application (rule
+  name, phase, memo group, expressions added), the Cascades analogue of
+  SQL Server's optimizer trace output;
+* **point events** — startup-filter skips, remote query dispatches,
+  spool rescans, and per-linked-server network attribution.
+
+Tracing is off by default.  The engine only allocates a QueryTrace when
+``tracing_enabled`` is set, and every producer site is guarded by an
+``is not None`` check, so a disabled engine records no events and pays
+one attribute test per hook.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+
+class TraceEvent:
+    """One point event: a name plus free-form attributes."""
+
+    __slots__ = ("name", "at_ms", "attrs")
+
+    def __init__(self, name: str, at_ms: float, attrs: Dict[str, Any]):
+        self.name = name
+        self.at_ms = at_ms
+        self.attrs = attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"event": self.name, "at_ms": round(self.at_ms, 3), **self.attrs}
+
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.name}, {self.attrs})"
+
+
+class SpanEvent(TraceEvent):
+    """A timed phase; ``duration_ms`` is filled when the span closes."""
+
+    __slots__ = ("duration_ms",)
+
+    def __init__(self, name: str, at_ms: float, attrs: Dict[str, Any]):
+        super().__init__(name, at_ms, attrs)
+        self.duration_ms: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = super().as_dict()
+        out["duration_ms"] = round(self.duration_ms, 3)
+        return out
+
+    def __repr__(self) -> str:
+        return f"SpanEvent({self.name}, {self.duration_ms:.3f}ms)"
+
+
+class QueryTrace:
+    """The ordered event log for one statement."""
+
+    def __init__(self, statement: str = ""):
+        self.statement = statement
+        self.events: list[TraceEvent] = []
+        self._started = time.perf_counter()
+
+    def _now_ms(self) -> float:
+        return (time.perf_counter() - self._started) * 1000.0
+
+    # -- producers ------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanEvent]:
+        event = SpanEvent(name, self._now_ms(), attrs)
+        self.events.append(event)
+        started = time.perf_counter()
+        try:
+            yield event
+        finally:
+            event.duration_ms = (time.perf_counter() - started) * 1000.0
+
+    def event(self, name: str, **attrs: Any) -> TraceEvent:
+        event = TraceEvent(name, self._now_ms(), attrs)
+        self.events.append(event)
+        return event
+
+    def rule_fired(
+        self, rule_name: str, phase: int, group_id: int, added: int
+    ) -> None:
+        self.event(
+            "rule_fired",
+            rule=rule_name,
+            phase=phase,
+            group=group_id,
+            expressions_added=added,
+        )
+
+    def network(self, server: str, delta: Dict[str, float]) -> None:
+        """Per-linked-server attribution for this statement."""
+        self.event("network", server=server, **delta)
+
+    # -- consumers ------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> list[SpanEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, SpanEvent) and (name is None or e.name == name)
+        ]
+
+    def rule_firings(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == "rule_fired"]
+
+    def network_events(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == "network"]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "statement": self.statement,
+            "events": [e.as_dict() for e in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, default=str)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"QueryTrace({self.statement!r}, {len(self.events)} events)"

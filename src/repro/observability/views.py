@@ -1,0 +1,164 @@
+"""DMV-style system views (``sys.dm_*``).
+
+The binder resolves two-part names in the ``sys`` schema through
+:func:`system_view`, which returns a (columns, rows) pair the binder
+turns into a constant table — so the observability layer is itself
+queryable with ordinary SELECTs, filters, joins and aggregates:
+
+* ``sys.dm_exec_connections`` — one row per linked server/channel with
+  live cumulative totals;
+* ``sys.dm_exec_query_stats`` — per-statement aggregates the engine
+  maintains on every execute;
+* ``sys.dm_os_performance_counters`` — a dump of the instance's
+  :class:`~repro.observability.metrics.MetricsRegistry`.
+
+Rows are materialized at bind time: a DMV query sees the state of the
+instance at the moment the statement is compiled, exactly like a DMV
+snapshot in the real server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.types.datatypes import BIGINT, FLOAT, INT, SqlType, varchar
+
+
+class QueryStatsEntry:
+    """Aggregate execution statistics for one statement text."""
+
+    __slots__ = (
+        "query_text",
+        "execution_count",
+        "total_rows",
+        "last_rows",
+        "total_elapsed_ms",
+        "last_elapsed_ms",
+        "total_bytes",
+        "total_round_trips",
+    )
+
+    def __init__(self, query_text: str):
+        self.query_text = query_text
+        self.execution_count = 0
+        self.total_rows = 0
+        self.last_rows = 0
+        self.total_elapsed_ms = 0.0
+        self.last_elapsed_ms = 0.0
+        self.total_bytes = 0
+        self.total_round_trips = 0
+
+    def record(
+        self, rows: int, elapsed_ms: float, nbytes: int, round_trips: int
+    ) -> None:
+        self.execution_count += 1
+        self.total_rows += rows
+        self.last_rows = rows
+        self.total_elapsed_ms += elapsed_ms
+        self.last_elapsed_ms = elapsed_ms
+        self.total_bytes += nbytes
+        self.total_round_trips += round_trips
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryStatsEntry({self.query_text!r}, "
+            f"n={self.execution_count})"
+        )
+
+
+Columns = list[tuple[str, SqlType]]
+
+
+def _dm_exec_connections(engine: Any) -> tuple[Columns, list[tuple]]:
+    columns: Columns = [
+        ("server_name", varchar(128)),
+        ("provider", varchar(128)),
+        ("latency_ms", FLOAT),
+        ("mb_per_second", FLOAT),
+        ("bytes_sent", BIGINT),
+        ("bytes_received", BIGINT),
+        ("round_trips", BIGINT),
+        ("simulated_ms", FLOAT),
+    ]
+    rows = []
+    for server in engine.linked_servers.values():
+        channel = server.channel
+        if channel is None:
+            rows.append(
+                (server.name, type(server.datasource).__name__,
+                 0.0, 0.0, 0, 0, 0, 0.0)
+            )
+            continue
+        stats = channel.stats
+        rows.append(
+            (
+                server.name,
+                type(server.datasource).__name__,
+                channel.latency_ms,
+                channel.mb_per_second,
+                stats.bytes_sent,
+                stats.bytes_received,
+                stats.round_trips,
+                stats.simulated_ms,
+            )
+        )
+    return columns, rows
+
+
+def _dm_exec_query_stats(engine: Any) -> tuple[Columns, list[tuple]]:
+    columns: Columns = [
+        ("query_text", varchar()),
+        ("execution_count", INT),
+        ("total_rows", BIGINT),
+        ("last_rows", BIGINT),
+        ("total_elapsed_ms", FLOAT),
+        ("last_elapsed_ms", FLOAT),
+        ("total_bytes", BIGINT),
+        ("total_round_trips", BIGINT),
+    ]
+    rows = [
+        (
+            entry.query_text,
+            entry.execution_count,
+            entry.total_rows,
+            entry.last_rows,
+            entry.total_elapsed_ms,
+            entry.last_elapsed_ms,
+            entry.total_bytes,
+            entry.total_round_trips,
+        )
+        for entry in engine.query_stats.values()
+    ]
+    return columns, rows
+
+
+def _dm_os_performance_counters(engine: Any) -> tuple[Columns, list[tuple]]:
+    columns: Columns = [
+        ("object_name", varchar(128)),
+        ("counter_name", varchar(128)),
+        ("counter_type", varchar(32)),
+        ("cntr_value", FLOAT),
+    ]
+    return columns, engine.metrics.rows()
+
+
+_VIEWS = {
+    "dm_exec_connections": _dm_exec_connections,
+    "dm_exec_query_stats": _dm_exec_query_stats,
+    "dm_os_performance_counters": _dm_os_performance_counters,
+}
+
+
+def system_view_names() -> tuple[str, ...]:
+    return tuple(sorted(_VIEWS))
+
+
+def system_view(
+    engine: Any, view_name: str
+) -> Optional[tuple[Columns, list[tuple]]]:
+    """Resolve ``sys.<view_name>`` to (columns, rows), or None when no
+    such view exists (the binder then falls back to normal lookup)."""
+    builder = _VIEWS.get(view_name.lower())
+    if builder is None:
+        return None
+    return builder(engine)

@@ -370,7 +370,20 @@ class DropTableStmt(Statement):
 
 
 class ExplainStmt(Statement):
-    """EXPLAIN <select>: return the chosen plan instead of rows."""
+    """EXPLAIN [ANALYZE] [VERBOSE] <select>, or the parenthesized
+    option-list form ``EXPLAIN (ANALYZE, VERBOSE) <select>``.
 
-    def __init__(self, select: SelectStmt):
+    Plain EXPLAIN returns the chosen plan instead of rows; ANALYZE also
+    executes the plan and annotates it with actual row counts and
+    per-operator timings; VERBOSE appends memo/search statistics.
+    """
+
+    def __init__(
+        self,
+        select: SelectStmt,
+        analyze: bool = False,
+        verbose: bool = False,
+    ):
         self.select = select
+        self.analyze = analyze
+        self.verbose = verbose

@@ -98,6 +98,10 @@ class BindContext(Protocol):
     ) -> Optional[FullTextBinding]:
         ...
 
+    def system_view(self, view_name: str) -> Optional[tuple]:
+        """``sys.<view_name>`` as (columns, rows), or None if unknown."""
+        ...
+
 
 class ColumnRegistry:
     """Mints column identities and records their metadata."""
@@ -452,6 +456,14 @@ class Binder:
             schema_name, table_name = parts
         else:
             (table_name,) = parts
+        if (
+            database is None
+            and schema_name.lower() == "sys"
+            and hasattr(self.context, "system_view")
+        ):
+            bound = self._bind_system_view(table_name, alias, scope)
+            if bound is not None:
+                return bound
         db = self.context.local_database(database or self.default_database)
         table = db.maybe_table(table_name, schema_name)
         if table is not None:
@@ -464,6 +476,27 @@ class Binder:
         raise BindError(
             f"table or view {schema_name}.{table_name} not found"
         )
+
+    def _bind_system_view(
+        self, view_name: str, alias: str, scope: Scope
+    ) -> Optional[LogicalOp]:
+        """Bind ``sys.<view_name>`` as a constant table: rows are
+        materialized at bind time, so the query sees a DMV-style
+        snapshot of the instance's current state."""
+        resolved = self.context.system_view(view_name)
+        if resolved is None:
+            return None
+        columns, rows = resolved
+        column_defs = [
+            self.registry.mint(name, type_, True, alias)
+            for name, type_ in columns
+        ]
+        literal_rows = [
+            [Literal(value, d.type) for value, d in zip(row, column_defs)]
+            for row in rows
+        ]
+        scope.add(alias, column_defs)
+        return Values(literal_rows, column_defs)
 
     def _bind_local_table(
         self,

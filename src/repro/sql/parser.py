@@ -108,7 +108,10 @@ class _Parser:
     def statement(self) -> ast.Statement:
         if self.at_keyword("explain"):
             self.next()
-            return ast.ExplainStmt(self.select_statement())
+            analyze, verbose = self._explain_options()
+            return ast.ExplainStmt(
+                self.select_statement(), analyze=analyze, verbose=verbose
+            )
         if self.at_keyword("select"):
             return self.select_statement()
         if self.at_keyword("insert"):
@@ -125,6 +128,48 @@ class _Parser:
         raise ParseError(
             f"expected a statement, got {token.value!r}", token.position
         )
+
+    def _explain_options(self) -> tuple[bool, bool]:
+        """ANALYZE / VERBOSE after EXPLAIN: bare words or a parenthesized
+        option list.  The option names are ordinary identifiers, not
+        reserved words, so columns named ``analyze`` stay legal."""
+        analyze = verbose = False
+        if (
+            self.peek().kind in ("punct", "operator")
+            and self.peek().value == "("
+            and self.peek(1).kind == "identifier"
+        ):
+            self.next()  # consume "("
+            while True:
+                if self._accept_name("analyze"):
+                    analyze = True
+                elif self._accept_name("verbose"):
+                    verbose = True
+                else:
+                    token = self.peek()
+                    raise ParseError(
+                        f"unknown EXPLAIN option {token.value!r}",
+                        token.position,
+                    )
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+            return analyze, verbose
+        if self._accept_name("analyze"):
+            analyze = True
+        if self._accept_name("verbose"):
+            verbose = True
+        return analyze, verbose
+
+    def _at_name(self, *names: str, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return token.kind == "identifier" and token.value.lower() in names
+
+    def _accept_name(self, *names: str) -> bool:
+        if self._at_name(*names):
+            self.next()
+            return True
+        return False
 
     def select_statement(self) -> ast.SelectStmt:
         first = self.core_select()

@@ -1,0 +1,375 @@
+"""Engine-wide observability: metrics registry, query traces,
+EXPLAIN ANALYZE actual-vs-estimated profiles, and DMV system views."""
+
+import json
+
+import pytest
+
+from repro import (
+    Engine,
+    MetricsRegistry,
+    NetworkChannel,
+    PlanProfiler,
+    QueryTrace,
+    ServerInstance,
+)
+from repro.observability.views import system_view_names
+
+
+# ----------------------------------------------------------------------
+# fixtures: the Example 1 shape (customer+supplier remote, nation local)
+# ----------------------------------------------------------------------
+
+NATIONS = [(0, "FRANCE"), (1, "JAPAN"), (2, "PERU")]
+
+PAPER_SQL = (
+    "SELECT c.c_name FROM remote0.master.dbo.customer c, "
+    "remote0.master.dbo.supplier s, nation n "
+    "WHERE c.c_nationkey = n.n_nationkey "
+    "AND n.n_nationkey = s.s_nationkey"
+)
+
+
+def build_world():
+    remote = ServerInstance("remote0")
+    remote.execute(
+        "CREATE TABLE customer (c_custkey int PRIMARY KEY, "
+        "c_name varchar(30), c_nationkey int)"
+    )
+    remote.execute(
+        "CREATE TABLE supplier (s_suppkey int PRIMARY KEY, s_nationkey int)"
+    )
+    for key in range(30):
+        remote.execute(
+            "INSERT INTO customer VALUES "
+            f"({key}, 'Customer#{key}', {key % 3})"
+        )
+    for key in range(6):
+        remote.execute(f"INSERT INTO supplier VALUES ({key}, {key % 2})")
+    local = Engine("local")
+    local.execute(
+        "CREATE TABLE nation (n_nationkey int PRIMARY KEY, n_name varchar(25))"
+    )
+    for nationkey, name in NATIONS:
+        local.execute(f"INSERT INTO nation VALUES ({nationkey}, '{name}')")
+    channel = NetworkChannel("wan", latency_ms=1.0, mb_per_second=10.0)
+    local.add_linked_server("remote0", remote, channel)
+    return local, remote, channel
+
+
+@pytest.fixture
+def world():
+    return build_world()
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry("test")
+        registry.increment("queries", 2)
+        registry.increment("queries")
+        registry.set_gauge("depth", 7)
+        registry.observe("latency_ms", 10.0)
+        registry.observe("latency_ms", 30.0)
+        assert registry.value_of("queries") == 3
+        assert registry.value_of("depth") == 7
+        histogram = registry.histogram("latency_ms")
+        assert histogram.count == 2
+        assert histogram.mean == 20.0
+        assert histogram.minimum == 10.0
+        assert histogram.maximum == 30.0
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.increment("x")
+        with pytest.raises(TypeError):
+            registry.set_gauge("x", 1)
+
+    def test_snapshot_and_rows(self):
+        registry = MetricsRegistry("ns")
+        registry.increment("b")
+        registry.increment("a", 5)
+        assert registry.snapshot() == {"a": 5.0, "b": 1.0}
+        rows = registry.rows()
+        assert rows[0] == ("ns", "a", "counter", 5.0)
+        assert len(registry) == 2
+
+    def test_engine_maintains_statement_metrics(self, world):
+        local, __, __c = world
+        before = local.metrics.value_of("engine.statements")
+        local.execute("SELECT n_name FROM nation")
+        assert local.metrics.value_of("engine.statements") == before + 1
+        assert local.metrics.histogram("engine.statement_ms").count >= 1
+        assert local.metrics.value_of("executor.rows_produced") > 0
+
+
+# ----------------------------------------------------------------------
+# query tracing
+# ----------------------------------------------------------------------
+
+class TestQueryTrace:
+    def test_tracing_off_by_default_no_events(self, world):
+        local, __, __c = world
+        result = local.execute(PAPER_SQL)
+        assert local.tracing_enabled is False
+        assert result.trace is None
+        assert local.optimizer.trace is None
+        assert result.context.trace is None
+
+    def test_trace_spans_and_rule_firings(self, world):
+        local, __, __c = world
+        local.tracing_enabled = True
+        result = local.execute(PAPER_SQL)
+        trace = result.trace
+        assert trace is not None
+        span_names = [s.name for s in trace.spans()]
+        for expected in ("parse", "bind", "optimize", "execute"):
+            assert expected in span_names
+        assert all(s.duration_ms >= 0.0 for s in trace.spans())
+        firings = trace.rule_firings()
+        assert firings, "optimizer must report rule applications"
+        sample = firings[0]
+        assert "rule" in sample.attrs and "phase" in sample.attrs
+        assert "group" in sample.attrs
+
+    def test_trace_network_attribution(self, world):
+        local, __, __c = world
+        local.tracing_enabled = True
+        trace = local.execute(PAPER_SQL).trace
+        events = trace.network_events()
+        assert len(events) == 1
+        event = events[0]
+        assert event.attrs["server"] == "remote0"
+        assert event.attrs["bytes_received"] > 0
+        remote_events = [
+            e for e in trace.events if e.name == "remote_query"
+        ]
+        assert remote_events, "remote dispatch must be traced"
+
+    def test_trace_to_json_round_trips(self, world):
+        local, __, __c = world
+        local.tracing_enabled = True
+        trace = local.execute(PAPER_SQL).trace
+        payload = json.loads(trace.to_json())
+        assert payload["statement"] == PAPER_SQL
+        assert len(payload["events"]) == len(trace)
+
+
+# ----------------------------------------------------------------------
+# per-statement network attribution
+# ----------------------------------------------------------------------
+
+class TestNetworkAttribution:
+    def test_remote_statement_attributes_traffic(self, world):
+        local, __, channel = world
+        result = local.execute(PAPER_SQL)
+        assert "remote0" in result.network
+        delta = result.network["remote0"]
+        assert delta["bytes_sent"] > 0
+        assert delta["bytes_received"] > 0
+        assert delta["round_trips"] >= 1
+
+    def test_local_statement_has_no_traffic(self, world):
+        local, __, __c = world
+        local.execute(PAPER_SQL)  # dirty the cumulative counters first
+        result = local.execute("SELECT n_name FROM nation")
+        assert result.network == {}
+
+    def test_deltas_are_per_statement_not_cumulative(self, world):
+        local, __, channel = world
+        first = local.execute(PAPER_SQL).network["remote0"]
+        second = local.execute(PAPER_SQL).network["remote0"]
+        # cumulative channel totals keep growing, but each statement
+        # sees only its own slice
+        assert channel.stats.bytes_received >= (
+            first["bytes_received"] + second["bytes_received"]
+        )
+        assert second["bytes_received"] <= channel.stats.bytes_received / 2 + 1
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE / VERBOSE
+# ----------------------------------------------------------------------
+
+class TestExplainAnalyze:
+    def _text(self, result) -> str:
+        return "\n".join(row[0] for row in result.rows)
+
+    def test_plain_explain_unchanged(self, world):
+        local, __, __c = world
+        text = self._text(local.execute("EXPLAIN " + PAPER_SQL))
+        assert "phase 0" in text
+        assert "actual=" not in text
+
+    def test_explain_analyze_actual_vs_estimated(self, world):
+        local, __, __c = world
+        result = local.execute("EXPLAIN ANALYZE " + PAPER_SQL)
+        text = self._text(result)
+        assert "actual=" in text and "est=" in text
+        assert "open=" in text and "next=" in text and "close=" in text
+        assert "-- network --" in text
+        assert "remote0:" in text
+        assert result.profile is not None
+        assert len(result.profile) > 0
+        # the root operator's actual row count matches the query result
+        root_profile = result.profile.lookup(result.plan)
+        expected_rows = len(local.execute(PAPER_SQL).rows)
+        assert root_profile.actual_rows == expected_rows
+
+    def test_explain_verbose_memo_statistics(self, world):
+        local, __, __c = world
+        text = self._text(local.execute("EXPLAIN VERBOSE " + PAPER_SQL))
+        assert "-- memo --" in text
+        assert "memo: groups=" in text
+        assert "expressions=" in text
+        assert "  rule " in text
+        assert "phase 0" in text  # trailing phase rows stay
+
+    def test_explain_parenthesized_options(self, world):
+        local, __, __c = world
+        text = self._text(
+            local.execute("EXPLAIN (ANALYZE, VERBOSE) " + PAPER_SQL)
+        )
+        assert "actual=" in text
+        assert "-- memo --" in text
+
+    def test_explain_analyze_startup_filter_skip(self, world):
+        local, __, __c = world
+        result = local.execute(
+            "SELECT n_name FROM nation WHERE @flag = 1",
+            params={"flag": 0},
+        )
+        assert result.rows == []
+        assert result.context.startup_filters_skipped == 1
+        assert local.metrics.value_of("executor.startup_filters_skipped") >= 1
+
+    def test_explain_analyze_with_params_marks_skipped_subtree(self, world):
+        local, __, __c = world
+        text = self._text(
+            local.execute(
+                "EXPLAIN ANALYZE SELECT n_name FROM nation WHERE @flag = 1",
+                params={"flag": 0},
+            )
+        )
+        assert "startup_skips=1" in text
+        assert "[never executed]" in text
+
+    def test_unknown_explain_option_named_in_error(self, world):
+        local, __, __c = world
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="FOO"):
+            local.execute("EXPLAIN (FOO) SELECT n_name FROM nation")
+
+
+# ----------------------------------------------------------------------
+# per-operator profiling on ordinary SELECTs
+# ----------------------------------------------------------------------
+
+class TestProfiling:
+    def test_profiling_disabled_by_default(self, world):
+        local, __, __c = world
+        result = local.execute(PAPER_SQL)
+        assert result.profile is None
+        assert result.context.profiler is None
+
+    def test_profiling_enabled_collects_operator_stats(self, world):
+        local, __, __c = world
+        local.profiling_enabled = True
+        result = local.execute(PAPER_SQL)
+        profiler = result.profile
+        assert isinstance(profiler, PlanProfiler)
+        root = profiler.lookup(result.plan)
+        assert root.actual_rows == len(result.rows)
+        assert root.opens == 1
+        rows = profiler.as_rows(result.plan)
+        assert rows[0]["depth"] == 0
+        assert all("open_ms" in entry for entry in rows)
+
+    def test_result_to_json(self, world):
+        local, __, __c = world
+        local.profiling_enabled = True
+        local.tracing_enabled = True
+        result = local.execute(PAPER_SQL)
+        payload = json.loads(result.to_json())
+        assert payload["columns"] == ["c_name"]
+        assert payload["rowcount"] == len(result.rows)
+        assert "network" in payload
+        assert "profile" in payload and "trace" in payload
+        assert payload["profile"][0]["actual_rows"] == len(result.rows)
+
+
+# ----------------------------------------------------------------------
+# DMV-style system views
+# ----------------------------------------------------------------------
+
+class TestSystemViews:
+    def test_view_names(self):
+        assert system_view_names() == (
+            "dm_exec_connections",
+            "dm_exec_query_stats",
+            "dm_os_performance_counters",
+        )
+
+    def test_dm_exec_connections_live_totals(self, world):
+        local, __, channel = world
+        local.execute(PAPER_SQL)  # generate traffic first
+        result = local.execute("SELECT * FROM sys.dm_exec_connections")
+        assert result.columns[:2] == ["server_name", "provider"]
+        assert len(result.rows) == 1  # one row per linked server
+        row = result.as_dicts()[0]
+        assert row["server_name"] == "remote0"
+        assert row["bytes_received"] == channel.stats.bytes_received
+        assert row["round_trips"] == channel.stats.round_trips
+        assert row["bytes_received"] > 0
+
+    def test_dmv_supports_ordinary_sql(self, world):
+        local, __, __c = world
+        local.execute(PAPER_SQL)
+        result = local.execute(
+            "SELECT server_name FROM sys.dm_exec_connections c "
+            "WHERE c.round_trips > 0"
+        )
+        assert result.rows == [("remote0",)]
+
+    def test_dm_exec_query_stats(self, world):
+        local, __, __c = world
+        local.execute(PAPER_SQL)
+        local.execute(PAPER_SQL)
+        result = local.execute(
+            "SELECT query_text, execution_count, total_bytes "
+            "FROM sys.dm_exec_query_stats"
+        )
+        by_text = {row[0]: row for row in result.rows}
+        assert PAPER_SQL in by_text
+        assert by_text[PAPER_SQL][1] == 2
+        assert by_text[PAPER_SQL][2] > 0
+
+    def test_dm_os_performance_counters(self, world):
+        local, __, __c = world
+        local.execute(PAPER_SQL)
+        result = local.execute(
+            "SELECT counter_name, cntr_value "
+            "FROM sys.dm_os_performance_counters"
+        )
+        counters = dict(result.rows)
+        assert counters["engine.statements"] >= 1
+        assert counters["executor.remote_queries"] >= 1
+
+    def test_unknown_sys_table_still_errors(self, world):
+        local, __, __c = world
+        from repro.errors import BindError
+
+        with pytest.raises(BindError):
+            local.execute("SELECT * FROM sys.no_such_view")
+
+    def test_query_stats_bounded(self):
+        local = Engine("bounded")
+        local.execute("CREATE TABLE t (id int)")
+        local.MAX_QUERY_STATS = 10
+        for i in range(25):
+            local.execute(f"SELECT id FROM t WHERE id = {i}")
+        assert len(local.query_stats) <= 10
