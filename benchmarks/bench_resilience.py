@@ -1,0 +1,180 @@
+"""E15 — availability under member failure (resilience sweep).
+
+A distributed partitioned view stays *answerable* when members fail:
+
+* transient faults are absorbed by retry/backoff, at a latency cost
+  that grows with the fault rate;
+* a hard-down member removes only the queries that must touch it —
+  static pruning plus delayed schema validation (Section 4.1.5) keeps
+  every other partition's queries alive.
+
+The sweep drives single-partition point queries against a 4-member
+federation while the per-message transient-fault rate rises 0 → 50%,
+then measures answer availability with one member hard-down.  Set
+``BENCH_SMOKE=1`` to run a reduced sweep (CI).
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import Engine, FaultInjector, NetworkChannel, ServerInstance
+from repro.errors import NetworkError
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+MEMBERS = 4
+QUERIES = 20 if SMOKE else 80
+FAULT_RATES = (0.0, 0.10, 0.50) if SMOKE else (0.0, 0.10, 0.25, 0.50)
+BASE_YEAR = 1992
+
+
+def build_resilience_federation(latency_ms: float = 1.0):
+    """One partitioned view, one member server per year."""
+    local = Engine("local")
+    branches = []
+    for i in range(MEMBERS):
+        year = BASE_YEAR + i
+        server = ServerInstance(f"srv{year}")
+        server.execute(
+            f"CREATE TABLE li_{year} (k int, y int NOT NULL "
+            f"CHECK (y >= {year} AND y < {year + 1}))"
+        )
+        server.execute(
+            f"INSERT INTO li_{year} VALUES "
+            + ", ".join(f"({year * 100 + j}, {year})" for j in range(8))
+        )
+        local.add_linked_server(
+            f"srv{year}", server, NetworkChannel(f"ch{year}", latency_ms)
+        )
+        branches.append(f"SELECT * FROM srv{year}.master.dbo.li_{year}")
+    local.execute("CREATE VIEW li AS " + " UNION ALL ".join(branches))
+    # compile once while every member is up: metadata caches warm here
+    assert len(local.execute("SELECT * FROM li").rows) == MEMBERS * 8
+    return local
+
+
+def _channels(engine):
+    return [
+        engine.linked_server(f"srv{BASE_YEAR + i}").channel
+        for i in range(MEMBERS)
+    ]
+
+
+def _sweep_point_queries(engine, rate: float, seed: int = 42):
+    """QUERIES point queries round-robin over the partitions."""
+    channels = _channels(engine)
+    for i, channel in enumerate(channels):
+        channel.fault_injector = (
+            FaultInjector(seed=seed + i, transient_rate=rate)
+            if rate > 0
+            else None
+        )
+    engine.metrics.reset()
+    answered = 0
+    simulated_ms = 0.0
+    for q in range(QUERIES):
+        year = BASE_YEAR + (q % MEMBERS)
+        before = sum(c.stats.simulated_ms for c in channels)
+        try:
+            result = engine.execute(f"SELECT * FROM li WHERE y = {year}")
+            assert len(result.rows) == 8
+            answered += 1
+        except NetworkError:
+            pass  # retries exhausted: the answer was unavailable
+        simulated_ms += sum(c.stats.simulated_ms for c in channels) - before
+    for channel in channels:
+        channel.fault_injector = None
+    return {
+        "answered": answered,
+        "availability": answered / QUERIES,
+        "ms_per_query": simulated_ms / QUERIES,
+        "retries": engine.metrics.value_of("network.retries"),
+        "faults": engine.metrics.value_of("network.faults_injected"),
+        "giveups": engine.metrics.value_of("network.retry_giveups"),
+    }
+
+
+def test_availability_under_transient_faults(benchmark):
+    engine = build_resilience_federation()
+    rows = []
+    by_rate = {}
+    for rate in FAULT_RATES:
+        stats = _sweep_point_queries(engine, rate)
+        by_rate[rate] = stats
+        rows.append(
+            (
+                f"{rate:.0%}",
+                f"{stats['availability']:.1%}",
+                f"{stats['ms_per_query']:.2f}ms",
+                int(stats["faults"]),
+                int(stats["retries"]),
+                int(stats["giveups"]),
+            )
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "E15: answer availability vs transient-fault rate "
+        f"({MEMBERS} members, {QUERIES} point queries)",
+        ["fault rate", "availability", "sim-ms/query", "faults",
+         "retries", "giveups"],
+        rows,
+    )
+    # fault-free baseline: everything answers, nothing retries
+    assert by_rate[0.0]["availability"] == 1.0
+    assert by_rate[0.0]["retries"] == 0
+    # 10%: retry/backoff absorbs effectively every fault
+    assert by_rate[0.10]["availability"] >= 0.95
+    assert by_rate[0.10]["retries"] > 0
+    # latency degrades monotonically-ish with the fault rate
+    assert by_rate[0.50]["ms_per_query"] > by_rate[0.0]["ms_per_query"]
+
+
+def test_availability_with_member_down(benchmark):
+    """Hard failure: only queries touching the dead member go dark."""
+    engine = build_resilience_federation()
+    down_year = BASE_YEAR + MEMBERS - 1
+    engine.linked_server(f"srv{down_year}").channel.fault_injector = (
+        FaultInjector(down=True)
+    )
+
+    def sweep():
+        answered = 0
+        for q in range(QUERIES):
+            year = BASE_YEAR + (q % MEMBERS)
+            try:
+                engine.execute(f"SELECT * FROM li WHERE y = {year}")
+                answered += 1
+            except NetworkError:
+                pass
+        return answered
+
+    answered = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    expected = QUERIES * (MEMBERS - 1) // MEMBERS
+    print_table(
+        "E15: availability with 1 of 4 members hard-down",
+        ["queries", "answered", "availability", "expected"],
+        [(QUERIES, answered, f"{answered / QUERIES:.1%}",
+          f"{expected / QUERIES:.1%}")],
+    )
+    # pruning keeps exactly the other members' partitions answerable
+    assert answered == expected
+
+
+def test_retry_latency_cost(benchmark):
+    """Single query under a scripted fault: latency = backoff + rerun."""
+    engine = build_resilience_federation()
+    channel = _channels(engine)[0]
+
+    def one_query_with_fault():
+        channel.fault_injector = FaultInjector(seed=0)
+        channel.fault_injector.fail_next("transient")
+        before = channel.stats.simulated_ms
+        result = engine.execute(f"SELECT * FROM li WHERE y = {BASE_YEAR}")
+        channel.fault_injector = None
+        return len(result.rows), channel.stats.simulated_ms - before
+
+    rows, cost_ms = benchmark(one_query_with_fault)
+    assert rows == 8
+    # one lost message + backoff + full re-run costs more than 2 RTTs
+    assert cost_ms > 2.0

@@ -33,6 +33,7 @@ from repro.core.optimizer import OptimizerOptions
 from repro.core.cost import CostModel
 from repro.fulltext.service import FullTextService
 from repro.observability import MetricsRegistry, PlanProfiler, QueryTrace
+from repro.resilience import FaultInjector, QueryBudget, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -47,5 +48,8 @@ __all__ = [
     "MetricsRegistry",
     "PlanProfiler",
     "QueryTrace",
+    "FaultInjector",
+    "RetryPolicy",
+    "QueryBudget",
     "__version__",
 ]

@@ -15,12 +15,19 @@ from __future__ import annotations
 import re
 from typing import Dict, Optional
 
-from repro.errors import CatalogError, NotSupportedError, ProviderError, SchemaValidationError
+from repro.errors import (
+    CatalogError,
+    NotSupportedError,
+    ProviderError,
+    SchemaValidationError,
+    ServerUnavailableError,
+)
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import IDB_SCHEMA_ROWSET
 from repro.oledb.properties import ProviderCapabilities
 from repro.oledb.schema_rowsets import histogram_from_rowset
 from repro.oledb.session import Session
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.stats.table_stats import ColumnStatistics, TableStatistics
 from repro.storage.btree import IndexMetadata
 from repro.types.datatypes import (
@@ -110,15 +117,50 @@ class RemoteTableInfo:
 class LinkedServer:
     """A named OLE DB data source registered with the engine."""
 
-    def __init__(self, name: str, datasource: DataSource):
+    def __init__(
+        self,
+        name: str,
+        datasource: DataSource,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.name = name
         self.datasource = datasource
         if not datasource.initialized:
             datasource.initialize()
         self._session: Optional[Session] = None
         self._table_cache: Dict[str, RemoteTableInfo] = {}
+        #: retry/backoff policy for every remote operation on this server
+        self.retry_policy = retry_policy or RetryPolicy()
 
     # -- plumbing ---------------------------------------------------------
+    def run_with_retry(self, fn, description: str = ""):
+        """Run one remote operation under this server's retry policy.
+
+        Transient faults back off (simulated ms charged to the channel)
+        and retry; timeouts retry when the policy allows; server-down
+        and exhausted retries propagate as typed errors.
+        """
+        return call_with_retry(
+            self.retry_policy, self.channel, fn,
+            description=description or self.name,
+        )
+
+    def execute_command(self, sql_text: str, session: Optional[Session] = None):
+        """Dispatch a SQL command to the remote server with retries.
+
+        The result rowset is materialized *inside* the retry scope, so a
+        fault mid-stream discards the partial transfer and re-runs the
+        whole command — the retry unit is the statement, never a
+        half-consumed rowset.  Returns the list of fetched rows.
+        """
+
+        def attempt():
+            sess = session if session is not None else self.create_session()
+            command = sess.create_command()
+            command.set_text(sql_text)
+            return command.execute().fetch_all()
+
+        return self.run_with_retry(attempt, description=f"command:{self.name}")
     @property
     def capabilities(self) -> ProviderCapabilities:
         return self.datasource.capabilities
@@ -143,17 +185,53 @@ class LinkedServer:
         table_name: str,
         database: Optional[str] = None,
         refresh: bool = False,
+        allow_stale: bool = True,
     ) -> RemoteTableInfo:
-        """Discover (and cache) schema/statistics for a remote table."""
+        """Discover (and cache) schema/statistics for a remote table.
+
+        Delayed schema validation (Section 4.1.5) hinges on the
+        ``allow_stale`` fallback: when the server is unreachable but a
+        cached :class:`RemoteTableInfo` exists, compilation proceeds
+        against the cache and validation is deferred to execution time —
+        so queries whose plans never *touch* the unreachable member
+        still compile and run.  Pass ``allow_stale=False`` (as
+        :meth:`validate_schema_version` does) to force an on-the-wire
+        check.
+        """
         key = (database.lower() if database else None, table_name.lower())
         if not refresh and key in self._table_cache:
             return self._table_cache[key]
-        if not self.datasource.supports_interface(IDB_SCHEMA_ROWSET):
-            info = self._probe_without_schema_rowsets(table_name)
-        else:
-            info = self._read_schema_rowsets(table_name, database)
+        try:
+            info = self.run_with_retry(
+                lambda: self._discover(table_name, database),
+                description=f"table_info:{table_name}",
+            )
+        except ServerUnavailableError:
+            cached = self._table_cache.get(key)
+            if allow_stale and cached is not None:
+                channel = self.channel
+                if channel is not None:
+                    channel._count("network.stale_metadata_served")
+                    channel._trace_event(
+                        "schema_validation_deferred",
+                        server=self.name, table=table_name,
+                    )
+                return cached
+            raise
         self._table_cache[key] = info
         return info
+
+    def _discover(
+        self, table_name: str, database: Optional[str]
+    ) -> RemoteTableInfo:
+        """One metadata round trip (schema stays free of byte charges,
+        but an unreachable server still refuses it)."""
+        channel = self.channel
+        if channel is not None:
+            channel.check_available()
+        if not self.datasource.supports_interface(IDB_SCHEMA_ROWSET):
+            return self._probe_without_schema_rowsets(table_name)
+        return self._read_schema_rowsets(table_name, database)
 
     def _read_schema_rowsets(
         self, table_name: str, database: Optional[str] = None
@@ -291,7 +369,15 @@ class LinkedServer:
         cached = self._table_cache.get(key)
         if cached is None:
             return
-        fresh = self.table_info(table_name, database, refresh=True)
+        try:
+            fresh = self.table_info(
+                table_name, database, refresh=True, allow_stale=False
+            )
+        except ServerUnavailableError as error:
+            raise ServerUnavailableError(
+                f"cannot validate schema of {self.name}.{table_name}: "
+                f"{error}"
+            ) from error
         if fresh.schema_version != cached.schema_version:
             raise SchemaValidationError(
                 f"schema of {self.name}.{table_name} changed "

@@ -43,6 +43,7 @@ from repro.observability.views import QueryStatsEntry, system_view
 from repro.oledb.datasource import DataSource
 from repro.oledb.rowset import MaterializedRowset, Rowset
 from repro.providers.sqlserver import SqlServerDataSource
+from repro.resilience.retry import QueryBudget, RetryPolicy
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundQuery, FullTextBinding
 from repro.sql.parser import parse_sql
@@ -154,6 +155,10 @@ class ServerInstance:
         self.profiling_enabled = False
         #: per-statement aggregates (sys.dm_exec_query_stats), bounded
         self.query_stats: Dict[str, QueryStatsEntry] = {}
+        #: per-query timeout budget in simulated network ms (None = off);
+        #: when set, every statement gets a QueryBudget and remote
+        #: traffic beyond it raises RemoteTimeoutError
+        self.query_timeout_ms: Optional[float] = None
 
     # ==================================================================
     # linked servers & providers
@@ -163,12 +168,15 @@ class ServerInstance:
         name: str,
         target: "ServerInstance | DataSource",
         channel: Optional[NetworkChannel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
         **provider_kwargs: Any,
     ) -> LinkedServer:
         """Register a linked server (Section 2.1's sp_addlinkedserver).
 
         ``target`` may be another :class:`ServerInstance` (wrapped in a
         SQL Server provider) or any pre-built OLE DB DataSource.
+        ``retry_policy`` overrides the default retry/backoff applied to
+        every remote operation against this server.
         """
         if isinstance(target, ServerInstance):
             datasource: DataSource = SqlServerDataSource(
@@ -181,7 +189,10 @@ class ServerInstance:
             datasource = target
             if not datasource.initialized:
                 datasource.initialize()
-        server = LinkedServer(name, datasource)
+        server = LinkedServer(name, datasource, retry_policy=retry_policy)
+        # fault/retry/timeout counters from this server's channel land
+        # in the engine's registry (sys.dm_os_performance_counters)
+        datasource.channel.metrics = self.metrics
         self.linked_servers[name.lower()] = server
         self.optimizer.register_linked_server(server)
         return server
@@ -397,14 +408,23 @@ class ServerInstance:
         ``tracing_enabled`` it also carries a structured QueryTrace.
         """
         trace = QueryTrace(sql_text) if self.tracing_enabled else None
+        budget = (
+            QueryBudget(self.query_timeout_ms)
+            if self.query_timeout_ms is not None
+            else None
+        )
         started = time.perf_counter()
         before = self._network_snapshot()
-        if trace is not None:
-            with trace.span("parse"):
+        restore = self._attach_statement_scope(trace, budget)
+        try:
+            if trace is not None:
+                with trace.span("parse"):
+                    stmt = parse_sql(sql_text)
+            else:
                 stmt = parse_sql(sql_text)
-        else:
-            stmt = parse_sql(sql_text)
-        result = self._dispatch_statement(stmt, params, txn, trace)
+            result = self._dispatch_statement(stmt, params, txn, trace)
+        finally:
+            self._restore_statement_scope(restore)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         network = self._network_delta(before)
         result.network = network
@@ -417,6 +437,34 @@ class ServerInstance:
         self.metrics.increment("engine.statements")
         self.metrics.observe("engine.statement_ms", elapsed_ms)
         return result
+
+    def _attach_statement_scope(
+        self, trace: Optional[QueryTrace], budget: Optional[QueryBudget]
+    ) -> list[tuple[NetworkChannel, Any, Any]]:
+        """Point every linked-server channel at this statement's trace
+        and timeout budget; returns the prior values for restoration
+        (nested execute() calls must not clobber an outer scope)."""
+        if trace is None and budget is None:
+            return []
+        restore = []
+        for server in self.linked_servers.values():
+            channel = server.channel
+            if channel is None:
+                continue
+            restore.append((channel, channel.trace, channel.budget))
+            if trace is not None:
+                channel.trace = trace
+            if budget is not None:
+                channel.budget = budget
+        return restore
+
+    @staticmethod
+    def _restore_statement_scope(
+        restore: list[tuple[NetworkChannel, Any, Any]]
+    ) -> None:
+        for channel, trace, budget in restore:
+            channel.trace = trace
+            channel.budget = budget
 
     def _dispatch_statement(
         self,
@@ -615,13 +663,17 @@ class ServerInstance:
     ) -> QueryResult:
         """Ship a DML statement to a linked server (Section 1: "query
         AND update capabilities ... natively built into the query
-        processor"), with delayed schema validation first."""
+        processor"), with delayed schema validation first.
+
+        Dispatch runs under the server's retry policy: transient faults
+        are raised by the channel *before* the remote side executes, so
+        a retried statement never double-applies.  A down server raises
+        :class:`~repro.errors.ServerUnavailableError` here, before any
+        local state changes.
+        """
         for database_name, table_name in tables:
             server.validate_schema_version(table_name, database_name)
-        session = server.create_session()
-        command = session.create_command()
-        command.set_text(sql_text)
-        command.execute()
+        server.execute_command(sql_text)
         server.invalidate_metadata()  # remote cardinalities changed
         return QueryResult([], [], rowcount=-1)
 

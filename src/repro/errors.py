@@ -81,6 +81,30 @@ class SchemaValidationError(ProviderError):
     """Raised by delayed schema validation when a remote schema drifted."""
 
 
+class NetworkError(ProviderError):
+    """Base class for simulated network failures (see docs/FAULT_MODEL.md).
+
+    Every failure a :class:`~repro.resilience.faults.FaultInjector` can
+    produce surfaces as one of the three subclasses below, so callers
+    can distinguish "retry it" from "give up" from "the server is gone".
+    """
+
+
+class TransientNetworkError(NetworkError):
+    """A message was lost or a connection dropped; retrying the same
+    operation may succeed (the retryable class)."""
+
+
+class RemoteTimeoutError(NetworkError):
+    """A remote operation exceeded its per-message timeout or the
+    statement exhausted its per-query timeout budget."""
+
+
+class ServerUnavailableError(NetworkError):
+    """The remote server is down/unreachable; retrying within the same
+    statement will not help."""
+
+
 class TransactionError(ReproError):
     """Base class for transaction failures."""
 

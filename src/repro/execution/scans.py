@@ -11,6 +11,26 @@ from repro.execution.context import ExecutionContext
 Row = tuple
 
 
+def _resilient_rows(server: Any, open_fn, description: str) -> Iterator[Row]:
+    """Iterate a remote rowset, retrying under faults.
+
+    Fault-free channels keep the original lazy streaming (bytes charge
+    as the consumer pulls).  With a fault injector attached, the rowset
+    is materialized *inside* the retry scope instead: a mid-stream
+    transient discards the partial transfer and re-opens the rowset, so
+    the retry unit is the whole rowset and consumers never see
+    duplicated rows.
+    """
+    channel = getattr(server, "channel", None)
+    if channel is None or channel.fault_injector is None:
+        return iter(open_fn())
+    return iter(
+        server.run_with_retry(
+            lambda: open_fn().fetch_all(), description=description
+        )
+    )
+
+
 def run_table_scan(plan: P.TableScan, ctx: ExecutionContext) -> Iterator[Row]:
     table = plan.table.local_table
     if table is None:
@@ -68,13 +88,17 @@ def run_remote_scan(plan: P.RemoteScan, ctx: ExecutionContext) -> Iterator[Row]:
         server.validate_schema_version(
             plan.table.table_name, plan.table.database
         )
-    session = server.create_session()
-    rowset = session.open_rowset(
-        plan.table.table_name,
-        schema_name=plan.table.schema_name,
-        database_name=plan.table.database,
+
+    def open_rowset():
+        return server.create_session().open_rowset(
+            plan.table.table_name,
+            schema_name=plan.table.schema_name,
+            database_name=plan.table.database,
+        )
+
+    return _resilient_rows(
+        server, open_rowset, f"scan:{plan.table.qualified_name}"
     )
-    return iter(rowset)
 
 
 def run_remote_range(plan: P.RemoteRange, ctx: ExecutionContext) -> Iterator[Row]:
@@ -86,9 +110,8 @@ def run_remote_range(plan: P.RemoteRange, ctx: ExecutionContext) -> Iterator[Row
         server.validate_schema_version(
             plan.table.table_name, plan.table.database
         )
-    session = server.create_session()
-
     def generate() -> Iterator[Row]:
+        session = server.create_session()
         for interval in plan.domain.intervals:
             index_rowset = session.open_index_rowset(
                 plan.table.table_name,
@@ -106,7 +129,16 @@ def run_remote_range(plan: P.RemoteRange, ctx: ExecutionContext) -> Iterator[Row
             )
             yield from fetched
 
-    rows = generate()
+    channel = getattr(server, "channel", None)
+    if channel is not None and channel.fault_injector is not None:
+        rows: Iterator[Row] = iter(
+            server.run_with_retry(
+                lambda: list(generate()),
+                description=f"range:{plan.table.qualified_name}",
+            )
+        )
+    else:
+        rows = generate()
     if plan.residual is not None:
         from repro.execution.executor import compile_expr, layout_of
 
@@ -132,19 +164,25 @@ def run_remote_query(
     if ctx.validate_schemas:
         for database, table_name in plan.tables_referenced:
             server.validate_schema_version(table_name, database)
-    session = server.create_session()
-    command = session.create_command()
-    command.set_text(plan.sql_text)
     if plan.param_exprs:
-        values = []
         layout = outer_layout or {}
-        for expr in plan.param_exprs:
-            compiled = expr.compile(layout)
-            values.append(compiled(outer_row, ctx.params))
-        command.bind_parameters(values)
+        values = [
+            expr.compile(layout)(outer_row, ctx.params)
+            for expr in plan.param_exprs
+        ]
+    else:
+        values = None
+
+    def open_result():
+        session = server.create_session()
+        command = session.create_command()
+        command.set_text(plan.sql_text)
+        if values is not None:
+            command.bind_parameters(values)
+        return command.execute()
+
     ctx.record_remote_query(server.name, plan.sql_text)
-    rowset = command.execute()
-    return iter(rowset)
+    return _resilient_rows(server, open_result, f"query:{server.name}")
 
 
 def run_provider_rowset(

@@ -60,10 +60,23 @@ class _DmlSession:
         return self.remote_sessions[key]
 
     def execute_remote(self, member: PartitionMember, sql_text: str) -> None:
+        """Ship one member's DML under the server's retry policy.
+
+        Faults fire on the channel before the remote side executes, so
+        a retried command never double-applies; a persistent failure
+        propagates and the caller aborts the distributed transaction.
+        """
         session = self.remote(member)
-        command = session.create_command()
-        command.set_text(sql_text)
-        command.execute()
+        server = self.engine.linked_server(member.server_name)
+
+        def attempt():
+            command = session.create_command()
+            command.set_text(sql_text)
+            command.execute()
+
+        server.run_with_retry(
+            attempt, description=f"pv-dml:{member.server_name}"
+        )
 
     def commit(self) -> None:
         self.engine.dtc.commit(self.dtxn)
@@ -207,10 +220,7 @@ def _update_one_member(
             f"{member.schema_name}.{member.table_name} SET {set_sql}"
             f"{where_sql}"
         )
-        remote_session = session.remote(member)
-        command = remote_session.create_command()
-        command.set_text(sql_text)
-        command.execute()
+        session.execute_remote(member, sql_text)
         # remote rowcount is not surfaced through the command; count 0
         return 0
     table = database.table(member.table_name, member.schema_name)

@@ -119,7 +119,7 @@ def partition_members(
             server = engine.linked_server(server_name)
             if server is None:
                 raise CatalogError(f"unknown linked server {server_name!r}")
-            info = server.table_info(table_name)
+            info = server.table_info(table_name, database_name)
             column, domain = _single_domain(info.check_domains)
             members.append(
                 PartitionMember(

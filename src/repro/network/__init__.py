@@ -8,6 +8,11 @@ quantity the paper's remote cost model minimizes ("It aims at finding
 plans with minimal network traffic", Section 4.1.3).
 """
 
-from repro.network.channel import NetworkChannel, NetworkStats, LOCAL_CHANNEL
+from repro.network.channel import (
+    LOCAL_CHANNEL,
+    NetworkChannel,
+    NetworkStats,
+    local_channel,
+)
 
-__all__ = ["NetworkChannel", "NetworkStats", "LOCAL_CHANNEL"]
+__all__ = ["NetworkChannel", "NetworkStats", "LOCAL_CHANNEL", "local_channel"]

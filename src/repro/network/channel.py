@@ -1,17 +1,36 @@
-"""Network channels with latency/bandwidth accounting.
+"""Network channels with latency/bandwidth accounting and fault hooks.
 
 A channel charges a fixed per-message latency plus a per-byte transfer
 cost, in simulated milliseconds, and keeps running totals.  Remote
 rowsets stream through a channel row by row (with batching, mirroring
 tabular data stream packets); commands (SQL text) are charged on the
 way out.
+
+Channels are also the failure surface (docs/FAULT_MODEL.md): an
+attached :class:`~repro.resilience.faults.FaultInjector` decides per
+message whether the channel drops it (transient), hangs past
+``timeout_ms`` (timeout), or is unreachable (server-down); a slow-link
+factor stretches transfer time.  The channel does all charging, metric
+increments and trace events itself so every failure is accounted for
+exactly once, whichever layer triggered it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional, TYPE_CHECKING
 
+from repro.errors import (
+    RemoteTimeoutError,
+    ServerUnavailableError,
+    TransientNetworkError,
+)
 from repro.types.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.trace import QueryTrace
+    from repro.resilience.faults import FaultInjector
+    from repro.resilience.retry import QueryBudget
 
 #: default per-row batch size for rowset streaming
 DEFAULT_BATCH_ROWS = 128
@@ -73,10 +92,15 @@ class NetworkChannel:
     """A simulated link between the local engine and one remote source.
 
     ``latency_ms`` is charged once per round trip; ``mb_per_second``
-    converts bytes to simulated transfer time.  A channel with zero
-    latency and infinite bandwidth (``LOCAL_CHANNEL``) models in-process
-    access to the local storage engine — the paper notes local access
-    goes through the same OLE DB path.
+    converts bytes to simulated transfer time.  ``timeout_ms``, when
+    set, bounds one message (command or streamed batch): a message whose
+    simulated cost would exceed it charges exactly ``timeout_ms`` and
+    raises :class:`~repro.errors.RemoteTimeoutError`.
+
+    A channel with zero latency and infinite bandwidth (see
+    :func:`local_channel`) models in-process access to the local storage
+    engine — the paper notes local access goes through the same OLE DB
+    path.  Local channels skip fault/timeout processing entirely.
     """
 
     def __init__(
@@ -84,11 +108,23 @@ class NetworkChannel:
         name: str = "remote",
         latency_ms: float = 1.0,
         mb_per_second: float = 100.0,
+        timeout_ms: Optional[float] = None,
     ):
         self.name = name
         self.latency_ms = float(latency_ms)
         self.mb_per_second = float(mb_per_second)
+        self.timeout_ms = timeout_ms
         self.stats = NetworkStats()
+        #: marks the in-process channel (no faults, no charging)
+        self.is_local = False
+        #: optional failure source (docs/FAULT_MODEL.md)
+        self.fault_injector: Optional["FaultInjector"] = None
+        #: owning engine's registry; fault/retry counters land here
+        self.metrics: Optional["MetricsRegistry"] = None
+        #: current statement's trace (attached per-statement by the engine)
+        self.trace: Optional["QueryTrace"] = None
+        #: current statement's timeout budget (attached by the engine)
+        self.budget: Optional["QueryBudget"] = None
 
     # -- cost primitives ------------------------------------------------------
     def transfer_ms(self, nbytes: int) -> float:
@@ -102,13 +138,129 @@ class NetworkChannel:
         """Per-byte cost the optimizer uses (ms/byte)."""
         return self.transfer_ms(1)
 
+    @property
+    def slow_factor(self) -> float:
+        """Slow-link multiplier from the attached injector (1.0 = none)."""
+        injector = self.fault_injector
+        return injector.slow_factor if injector is not None else 1.0
+
+    # -- charging ---------------------------------------------------------------
+    def _charge_ms(self, ms: float) -> None:
+        """Add simulated time to the running totals and, when a
+        statement budget is attached, draw it down (which may raise)."""
+        self.stats.simulated_ms += ms
+        if self.budget is not None:
+            self.budget.charge(ms)
+
+    # -- fault surface ----------------------------------------------------------
+    def check_available(self) -> None:
+        """Raise :class:`ServerUnavailableError` when the peer is down.
+
+        Metadata operations (schema rowsets) use this as their only
+        fault check: metadata itself stays free of charge, but an
+        unreachable server must still refuse it.
+        """
+        injector = self.fault_injector
+        if injector is not None and injector.is_down:
+            self._count("network.faults_injected")
+            self._count("network.faults_down")
+            self._trace_event("fault_injected", kind="down")
+            raise ServerUnavailableError(
+                f"server behind channel {self.name!r} is unreachable"
+            )
+
+    def _consult_injector(self) -> None:
+        """One fault decision for one message; raises on a fault."""
+        injector = self.fault_injector
+        if injector is None or self.is_local:
+            return
+        decision = injector.decide()
+        if decision == "ok":
+            return
+        self._count("network.faults_injected")
+        self._count(f"network.faults_{decision}")
+        self._trace_event("fault_injected", kind=decision)
+        if decision == "down":
+            raise ServerUnavailableError(
+                f"server behind channel {self.name!r} is unreachable"
+            )
+        if decision == "timeout":
+            # the remote side hung: the consumer waits out the full
+            # per-message timeout (or one latency, if none configured)
+            waited = self.timeout_ms if self.timeout_ms is not None else self.latency_ms
+            self._charge_ms(waited)
+            self._count("network.timeouts")
+            raise RemoteTimeoutError(
+                f"message on channel {self.name!r} timed out "
+                f"after {waited:g}ms"
+            )
+        # transient: the message is lost after one latency of waiting
+        self._charge_ms(self.latency_ms)
+        raise TransientNetworkError(
+            f"transient fault on channel {self.name!r}"
+        )
+
+    def _charge_message(self, cost_ms: float) -> None:
+        """Charge one message's simulated cost, enforcing the
+        per-message timeout."""
+        if self.timeout_ms is not None and cost_ms > self.timeout_ms:
+            self._charge_ms(self.timeout_ms)
+            self._count("network.timeouts")
+            self._trace_event(
+                "message_timeout", cost_ms=round(cost_ms, 3),
+                timeout_ms=self.timeout_ms,
+            )
+            raise RemoteTimeoutError(
+                f"message on channel {self.name!r} needed {cost_ms:.2f}ms "
+                f"but timeout_ms={self.timeout_ms:g}"
+            )
+        self._charge_ms(cost_ms)
+
+    # -- retry accounting (called by resilience.retry) --------------------------
+    def charge_backoff(
+        self, backoff_ms: float, attempt: int, description: str,
+        error: Exception,
+    ) -> None:
+        """Account one retry: simulated backoff time + counters."""
+        self._charge_ms(backoff_ms)
+        self._count("network.retries")
+        self._count("network.backoff_ms", backoff_ms)
+        self._trace_event(
+            "retry",
+            attempt=attempt,
+            backoff_ms=round(backoff_ms, 3),
+            operation=description,
+            error=type(error).__name__,
+        )
+
+    def note_retries_exhausted(self, description: str, attempts: int) -> None:
+        self._count("network.retry_giveups")
+        self._trace_event(
+            "retries_exhausted", operation=description, attempts=attempts
+        )
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name, amount)
+
+    def _trace_event(self, name: str, **attrs: Any) -> None:
+        if self.trace is not None:
+            self.trace.event(name, channel=self.name, **attrs)
+
     # -- accounting -------------------------------------------------------------
     def send_command(self, text: str) -> None:
         """Charge an outgoing command (SQL text) and one round trip."""
         nbytes = len(text.encode("utf-8"))
+        if self.is_local:
+            self.stats.bytes_sent += nbytes
+            self.stats.round_trips += 1
+            return
+        self._consult_injector()
         self.stats.bytes_sent += nbytes
         self.stats.round_trips += 1
-        self.stats.simulated_ms += self.latency_ms + self.transfer_ms(nbytes)
+        self._charge_message(
+            self.latency_ms + self.transfer_ms(nbytes) * self.slow_factor
+        )
 
     def stream_rows(
         self,
@@ -120,16 +272,38 @@ class NetworkChannel:
 
         Yields rows unchanged; the accounting happens as a side effect,
         with one round trip per ``batch_rows`` rows plus the per-row
-        byte volume.
+        byte volume.  Each batch is one message for fault purposes: the
+        injector is consulted at every batch boundary, and a batch whose
+        accumulated cost exceeds ``timeout_ms`` raises mid-stream.
         """
         in_batch = 0
+        batch_cost = 0.0
         for row in rows:
             if in_batch == 0:
+                self._consult_injector()
                 self.stats.round_trips += 1
-                self.stats.simulated_ms += self.latency_ms
+                batch_cost = self.latency_ms
+                self._charge_ms(self.latency_ms)
             nbytes = self._row_bytes(row, schema)
             self.stats.bytes_received += nbytes
-            self.stats.simulated_ms += self.transfer_ms(nbytes)
+            row_cost = self.transfer_ms(nbytes) * self.slow_factor
+            batch_cost += row_cost
+            if (
+                self.timeout_ms is not None
+                and not self.is_local
+                and batch_cost > self.timeout_ms
+            ):
+                self._count("network.timeouts")
+                self._trace_event(
+                    "message_timeout",
+                    cost_ms=round(batch_cost, 3),
+                    timeout_ms=self.timeout_ms,
+                )
+                raise RemoteTimeoutError(
+                    f"streamed batch on channel {self.name!r} exceeded "
+                    f"timeout_ms={self.timeout_ms:g}"
+                )
+            self._charge_ms(row_cost)
             in_batch = (in_batch + 1) % batch_rows
             yield row
 
@@ -160,7 +334,20 @@ class NetworkChannel:
         )
 
 
-#: The in-process "channel": free and instantaneous.
-LOCAL_CHANNEL = NetworkChannel("local", latency_ms=0.0, mb_per_second=0.0)
-# a 0 MB/s bandwidth means "do not charge transfer time" for the local path
-LOCAL_CHANNEL.mb_per_second = float("inf")
+def local_channel() -> NetworkChannel:
+    """A fresh in-process "channel": free, instantaneous, fault-proof.
+
+    Every :class:`~repro.oledb.datasource.DataSource` without an
+    explicit channel gets its *own* local channel, so local traffic
+    counters never aggregate across unrelated instances (the old
+    module-level singleton silently did).
+    """
+    channel = NetworkChannel("local", latency_ms=0.0, mb_per_second=float("inf"))
+    channel.is_local = True
+    return channel
+
+
+#: Legacy shared local channel.  Kept only as a recognizable default for
+#: old call sites; new code should test ``channel.is_local`` and build
+#: instances via :func:`local_channel`.
+LOCAL_CHANNEL = local_channel()

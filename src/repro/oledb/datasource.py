@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ConnectionError_, NotSupportedError
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel, local_channel
 from repro.oledb.interfaces import (
     IDB_CREATE_SESSION,
     IDB_INITIALIZE,
@@ -30,7 +30,9 @@ class DataSource:
 
     def __init__(self, channel: Optional[NetworkChannel] = None):
         self.properties = PropertySet()
-        self.channel = channel if channel is not None else LOCAL_CHANNEL
+        # each data source gets its own local channel so stats never
+        # aggregate across unrelated instances (see local_channel())
+        self.channel = channel if channel is not None else local_channel()
         self._initialized = False
 
     # -- interface discovery ------------------------------------------------

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.errors import CatalogError, ProviderError
-from repro.network.channel import LOCAL_CHANNEL
 from repro.oledb.rowset import MaterializedRowset, Rowset
 from repro.oledb.schema_rowsets import (
     check_constraints_rowset,
@@ -69,7 +68,7 @@ class TableBackedSession(Session):
     def _stream(self, rows: Iterable[tuple[Any, ...]], schema: Schema):
         """Pass rows through the network channel unless local."""
         channel = self.datasource.channel
-        if channel is LOCAL_CHANNEL:
+        if channel.is_local:
             return rows
         return channel.stream_rows(rows, schema)
 

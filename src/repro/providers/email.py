@@ -19,7 +19,7 @@ import datetime as _dt
 from typing import Any, Dict, Iterable, Optional
 
 from repro.errors import CatalogError, ConnectionError_
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import (
     IDB_CREATE_SESSION,
@@ -168,7 +168,7 @@ class EmailSession(Session):
         mail_file = self.datasource.mail_file(table_name)
         rows = [message.as_row() for message in mail_file.messages]
         channel = self.datasource.channel
-        if channel is not LOCAL_CHANNEL:
+        if not channel.is_local:
             return Rowset(MAIL_SCHEMA, channel.stream_rows(rows, MAIL_SCHEMA))
         return Rowset(MAIL_SCHEMA, iter(rows))
 

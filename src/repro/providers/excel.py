@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional
 
 from repro.errors import CatalogError, ConnectionError_
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import (
     IDB_CREATE_SESSION,
@@ -103,6 +103,6 @@ class ExcelSession(Session):
         schema = Schema(columns)
         channel = self.datasource.channel
         rows: Iterable[tuple[Any, ...]] = iter(data)
-        if channel is not LOCAL_CHANNEL:
+        if not channel.is_local:
             rows = channel.stream_rows(data, schema)
         return Rowset(schema, rows)

@@ -24,7 +24,7 @@ from typing import Any, Optional
 
 from repro.errors import FullTextError, ProviderError
 from repro.fulltext.service import FullTextCatalog, FullTextService
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel
 from repro.oledb.command import Command
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import (
@@ -201,6 +201,6 @@ class FullTextCommand(Command):
             session._document_row(m.key, m.rank, requested) for m in matches
         ]
         channel = session.datasource.channel
-        if channel is not LOCAL_CHANNEL:
+        if not channel.is_local:
             return Rowset(schema, channel.stream_rows(rows, schema))
         return Rowset(schema, iter(rows))

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import ConnectionError_, ProviderError
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel
 from repro.oledb.command import Command
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import (
@@ -96,7 +96,7 @@ class PassThroughCommand(Command):
     def _execute(self, text: str) -> Rowset:
         result = self.session.datasource._handler(text)
         channel = self.session.datasource.channel
-        if channel is not LOCAL_CHANNEL:
+        if not channel.is_local:
             return Rowset(
                 result.schema, channel.stream_rows(result, result.schema)
             )

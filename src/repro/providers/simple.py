@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.errors import CatalogError, ConnectionError_
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import (
     IDB_CREATE_SESSION,
@@ -143,6 +143,6 @@ class SimpleSession(Session):
     def open_rowset(self, table_name: str, **kwargs: Any) -> Rowset:
         schema, rows = self.datasource.parsed_file(table_name)
         channel = self.datasource.channel
-        if channel is not LOCAL_CHANNEL:
+        if not channel.is_local:
             return Rowset(schema, channel.stream_rows(rows, schema))
         return Rowset(schema, iter(rows))

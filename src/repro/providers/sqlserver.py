@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Protocol
 
-from repro.network.channel import LOCAL_CHANNEL, NetworkChannel
+from repro.network.channel import NetworkChannel
 from repro.oledb.command import Command
 from repro.oledb.datasource import DataSource
 from repro.oledb.interfaces import (
@@ -159,7 +159,7 @@ class SqlCommand(Command):
         else:
             result = backend.execute_sql(text)
         channel = self.session.datasource.channel
-        if channel is LOCAL_CHANNEL:
+        if channel.is_local:
             return result
         return Rowset(
             result.schema, channel.stream_rows(result, result.schema)

@@ -1,0 +1,139 @@
+"""Deterministic fault injection for simulated network channels.
+
+A :class:`FaultInjector` attaches to a
+:class:`~repro.network.channel.NetworkChannel` and decides, message by
+message, whether the channel behaves normally or fails.  All decisions
+come from a private seeded :class:`random.Random`, so a given
+``(seed, rates, message sequence)`` always produces the same fault
+sequence — tests and benchmarks can script failures and replay them
+exactly.
+
+Four failure modes (the taxonomy of docs/FAULT_MODEL.md):
+
+* **transient** — the message is lost; the operation raises
+  :class:`~repro.errors.TransientNetworkError` and may be retried;
+* **timeout** — the remote side hangs for the channel's full
+  ``timeout_ms`` before the consumer gives up
+  (:class:`~repro.errors.RemoteTimeoutError`);
+* **server-down** — the channel's peer is unreachable until
+  :meth:`mark_up` (:class:`~repro.errors.ServerUnavailableError`);
+* **slow-link** — no error, but every transfer is stretched by
+  ``slow_factor`` (which can then trip per-message timeouts).
+
+The injector only *decides*; the channel does the charging, raising,
+metric increments and trace events, so accounting stays in one place.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Optional
+
+#: decision labels returned by :meth:`FaultInjector.decide`
+OK = "ok"
+TRANSIENT = "transient"
+TIMEOUT = "timeout"
+DOWN = "down"
+
+_SCRIPTABLE = (TRANSIENT, TIMEOUT, DOWN)
+
+
+class FaultInjector:
+    """Seedable per-channel fault source.
+
+    ``transient_rate`` and ``timeout_rate`` are independent per-message
+    probabilities in [0, 1].  ``slow_factor`` >= 1 multiplies transfer
+    time on every message that goes through.  ``down`` starts the
+    channel in the unreachable state.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        slow_factor: float = 1.0,
+        down: bool = False,
+    ):
+        if not 0.0 <= transient_rate <= 1.0:
+            raise ValueError("transient_rate must be in [0, 1]")
+        if not 0.0 <= timeout_rate <= 1.0:
+            raise ValueError("timeout_rate must be in [0, 1]")
+        if slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.timeout_rate = timeout_rate
+        self.slow_factor = slow_factor
+        self._down = down
+        self._rng = random.Random(seed)
+        #: explicit one-shot faults consumed before any random draw
+        self._script: Deque[str] = deque()
+        #: decisions made (all messages, including OK ones)
+        self.messages_seen = 0
+        #: faults produced, by kind
+        self.injected = {TRANSIENT: 0, TIMEOUT: 0, DOWN: 0}
+
+    # -- server up/down -----------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def mark_down(self) -> None:
+        """Take the channel's peer offline (server-down mode)."""
+        self._down = True
+
+    def mark_up(self) -> None:
+        self._down = False
+
+    # -- scripting ----------------------------------------------------------
+    def fail_next(self, kind: str = TRANSIENT, count: int = 1) -> None:
+        """Queue ``count`` deterministic faults ahead of the random
+        stream — the scripting hook tests use for exact fault placement."""
+        if kind not in _SCRIPTABLE:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._script.extend([kind] * count)
+
+    # -- the decision point ---------------------------------------------------
+    def decide(self) -> str:
+        """Fault decision for the next message: one of ``OK``,
+        ``TRANSIENT``, ``TIMEOUT``, ``DOWN``."""
+        self.messages_seen += 1
+        if self._down:
+            self.injected[DOWN] += 1
+            return DOWN
+        if self._script:
+            kind = self._script.popleft()
+            self.injected[kind] += 1
+            return kind
+        # one draw per rate keeps the stream deterministic even when a
+        # rate is zero (no draw is consumed for a disabled mode)
+        if self.transient_rate > 0.0 and self._rng.random() < self.transient_rate:
+            self.injected[TRANSIENT] += 1
+            return TRANSIENT
+        if self.timeout_rate > 0.0 and self._rng.random() < self.timeout_rate:
+            self.injected[TIMEOUT] += 1
+            return TIMEOUT
+        return OK
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Restart the random stream (same seed unless given a new one)
+        and clear counters/script; up/down state is preserved."""
+        if seed is not None:
+            self.seed = seed
+        self._rng = random.Random(self.seed)
+        self._script.clear()
+        self.messages_seen = 0
+        self.injected = {TRANSIENT: 0, TIMEOUT: 0, DOWN: 0}
+
+    def __repr__(self) -> str:
+        state = "down" if self._down else "up"
+        return (
+            f"FaultInjector(seed={self.seed}, transient={self.transient_rate}, "
+            f"timeout={self.timeout_rate}, slow={self.slow_factor}x, {state})"
+        )

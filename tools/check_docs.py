@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Docs sanity check for CI.
+
+Fails (exit 1) when:
+
+* any Markdown file under the repo root or ``docs/`` contains a
+  relative link to a file that does not exist, or
+* ``README.md`` lacks a "Resilience" section, or its link to
+  ``docs/FAULT_MODEL.md`` is missing.
+
+External links (http/https/mailto) and intra-page anchors are not
+checked — only the repo-relative ones we can verify offline.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def check_links(path: Path) -> list[str]:
+    problems = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(ROOT)}: dead link -> {target}"
+            )
+    return problems
+
+
+def check_readme() -> list[str]:
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    problems = []
+    if not re.search(r"^#+\s+Resilience\b", readme, re.MULTILINE):
+        problems.append("README.md: missing a 'Resilience' section")
+    if "docs/FAULT_MODEL.md" not in readme:
+        problems.append("README.md: missing link to docs/FAULT_MODEL.md")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in markdown_files():
+        problems += check_links(path)
+    problems += check_readme()
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"docs-check: {len(markdown_files())} markdown files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
