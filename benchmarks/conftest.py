@@ -5,45 +5,17 @@ worked example); see DESIGN.md's experiment index.  Benchmarks both
 *time* the relevant operation (pytest-benchmark) and *assert the shape*
 the paper reports (who wins, by roughly what factor), printing the
 rows/series for EXPERIMENTS.md.
+
+World construction is shared with the test suite and the differential
+harness via :mod:`repro.testcheck.worlds`; ``build_fig4_world`` is
+re-exported here for the bench modules that import it.
 """
 
 from __future__ import annotations
 
-import pytest
+from repro.testcheck.worlds import build_fig4_world
 
-from repro import Engine, NetworkChannel, ServerInstance
-from repro.workloads import load_tpch
-from repro.workloads.tpch import TPCH_DDL
-
-
-def build_fig4_world(
-    customers: int = 1000,
-    suppliers: int = 100,
-    latency_ms: float = 2.0,
-    mb_per_second: float = 10.0,
-):
-    """The Example 1 setup: customer+supplier remote, nation local."""
-    local = Engine("local")
-    remote = ServerInstance("remote0")
-    remote.catalog.create_database("tpch10g")
-    data = load_tpch(remote, customers=customers, suppliers=suppliers,
-                     tables=[])
-    for table_name in ("customer", "supplier"):
-        remote.execute(
-            TPCH_DDL[table_name].replace(
-                f"CREATE TABLE {table_name}",
-                f"CREATE TABLE tpch10g.dbo.{table_name}",
-            )
-        )
-        table = remote.catalog.database("tpch10g").table(table_name)
-        for row in data.table_rows()[table_name]:
-            table.insert(row)
-    load_tpch(local, data=data, tables=["nation", "region"])
-    channel = NetworkChannel(
-        "wan", latency_ms=latency_ms, mb_per_second=mb_per_second
-    )
-    local.add_linked_server("remote0", remote, channel)
-    return local, remote, channel
+__all__ = ["build_fig4_world", "print_table"]
 
 
 def print_table(title: str, header: list[str], rows: list[tuple]) -> None:

@@ -354,6 +354,10 @@ class Decoder:
             if flat.select_items is not None
             else list(flat.column_sql)
         )
+        # a column id may appear twice in the select list (SELECT a, a);
+        # the derived table must expose it once or references to its
+        # alias become ambiguous when the remote side re-binds
+        inner_ids = list(dict.fromkeys(inner_ids))
         sql = self._render(flat, inner_ids)
         self._derived_counter += 1
         alias = f"d{self._derived_counter}"

@@ -7,6 +7,7 @@ from typing import Any, Dict, Iterator, Optional
 from repro.algebra.expressions import AggregateCall
 from repro.core import physical as P
 from repro.execution.context import ExecutionContext
+from repro.types.values import collation_key
 
 Row = tuple
 
@@ -31,9 +32,10 @@ class _Accumulator:
         if value is None:
             return
         if self.distinct is not None:
-            if value in self.distinct:
+            folded = collation_key(value)
+            if folded in self.distinct:
                 return
-            self.distinct.add(value)
+            self.distinct.add(folded)
         self.count += 1
         if self.total is None:
             self.total = value
@@ -71,13 +73,17 @@ def _lt(a: Any, b: Any) -> bool:
 
 
 def _group_key(values: tuple) -> tuple:
+    """Grouping key: numeric kinds unify and strings fold to the
+    default collation's key, so ``GROUP BY``/``DISTINCT`` merge the
+    same values ``=`` equates.  The first-seen raw tuple stays the
+    group's representative."""
     out = []
     for value in values:
         if isinstance(value, bool):
             value = int(value)
         if isinstance(value, float) and value.is_integer():
             value = int(value)
-        out.append(value)
+        out.append(collation_key(value))
     return tuple(out)
 
 

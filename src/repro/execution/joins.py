@@ -25,7 +25,10 @@ def _combined_layout(left: P.PhysicalOp, right: P.PhysicalOp) -> Dict[int, int]:
 
 def _hashable(values: tuple) -> Optional[tuple]:
     """Hash key for join values; None when any component is NULL (SQL
-    equality never matches NULLs)."""
+    equality never matches NULLs).  Strings fold to the default
+    collation's key so hash joins agree with ``=``."""
+    from repro.types.values import collation_key
+
     out = []
     for value in values:
         if value is None:
@@ -34,7 +37,7 @@ def _hashable(values: tuple) -> Optional[tuple]:
             value = int(value)
         if isinstance(value, float) and value.is_integer():
             value = int(value)
-        out.append(value)
+        out.append(collation_key(value))
     return tuple(out)
 
 

@@ -1,0 +1,454 @@
+"""Multi-oracle differential execution.
+
+Every generated query runs under four configurations that must agree
+row-for-row (as a collation-aware multiset):
+
+=============  ========================================================
+``local``      every table in one engine — the semantics reference
+               (no network, no remote rules, plain local plans)
+``distributed``  tables spread across linked servers, full optimizer
+               (remote-query construction, parameterized joins,
+               locality grouping, remote spools all enabled)
+``ablated``    same topology, remote rules disabled — remote tables
+               are fetched whole and all logic runs locally
+``faulted``    same topology, plus a seeded FaultInjector on every
+               channel and a retry policy that must mask the faults
+=============  ========================================================
+
+The paper's claim under test: DHQP's remote rules participate in
+cost-based search *without changing query semantics* — so plans that
+ship predicates, build remote queries, probe with parameters, or
+retry after transient faults must all return exactly what the
+all-local reference returns.
+
+A mismatch report carries everything needed to reproduce: the case
+seed, the SQL text rendered for each configuration, and each
+configuration's EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import traceback
+import zlib
+from typing import Any, Optional
+
+from repro.engine import Engine, QueryResult, ServerInstance
+from repro.core.optimizer import OptimizerOptions
+from repro.network.channel import NetworkChannel
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
+from repro.testcheck.schema import SchemaSpec, TableSpec, generate_schema
+from repro.testcheck.sqlgen import GeneratedQuery, generate_query
+from repro.types.collation import DEFAULT_COLLATION
+from repro.types.intervals import SortKey
+
+#: configuration names, in the order they run
+CONFIGS = ("local", "distributed", "ablated", "faulted")
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent hash (``hash()`` is randomized per run)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+#: remote rules switched off for the ``ablated`` oracle
+ABLATED_OPTIONS = dict(
+    enable_remote_query=False,
+    enable_parameterization=False,
+    enable_locality_grouping=False,
+    enable_spool=False,
+)
+
+
+class OracleWorld:
+    """One materialized configuration: engine + name map for rendering."""
+
+    __slots__ = ("name", "engine", "name_map", "channels")
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        name_map: dict[str, str],
+        channels: Optional[dict[str, NetworkChannel]] = None,
+    ):
+        self.name = name
+        self.engine = engine
+        self.name_map = name_map
+        self.channels = channels or {}
+
+    def run(self, query: GeneratedQuery) -> QueryResult:
+        return self.engine.execute(query.render(self.name_map))
+
+    def explain(self, query: GeneratedQuery) -> str:
+        try:
+            result = self.engine.execute(
+                "EXPLAIN " + query.render(self.name_map)
+            )
+            return "\n".join(row[0] for row in result.rows)
+        except Exception as error:  # EXPLAIN must never mask the report
+            return f"<explain failed: {type(error).__name__}: {error}>"
+
+
+def _load_tables(schema: SchemaSpec, host_for) -> dict[str, Engine]:
+    """Create and fill every table on its host; returns engines by name."""
+    engines: dict[str, Engine] = {"local": Engine("local")}
+    for table in schema.tables.values():
+        host = host_for(table)
+        engine = engines.get(host)
+        if engine is None:
+            engine = ServerInstance(host)
+            engines[host] = engine
+        engine.execute(table.ddl())
+        storage = engine.catalog.database().table(table.name)
+        for row in table.rows:
+            storage.insert(row)
+    return engines
+
+
+def _create_view(
+    schema: SchemaSpec, local: Engine, host_for
+) -> None:
+    if schema.view is None:
+        return
+    branches = []
+    for member in schema.view.members:
+        host = host_for(member)
+        prefix = "" if host == "local" else f"{host}.master.dbo."
+        branches.append(f"SELECT * FROM {prefix}{member.name}")
+    local.execute(
+        f"CREATE VIEW {schema.view.name} AS " + " UNION ALL ".join(branches)
+    )
+
+
+def build_world(
+    schema: SchemaSpec,
+    config: str,
+    fault_seed: int = 0,
+    optimizer_options: Optional[OptimizerOptions] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> OracleWorld:
+    """Materialize the schema (tables + data + partitioned view) under
+    one oracle configuration."""
+    distributed = config != "local"
+    host_for = (lambda t: t.host) if distributed else (lambda t: "local")
+
+    if optimizer_options is None and config == "ablated":
+        optimizer_options = OptimizerOptions(**ABLATED_OPTIONS)
+
+    engines = _load_tables(schema, host_for)
+    local = engines["local"]
+    if optimizer_options is not None:
+        local.optimizer.options = optimizer_options
+
+    channels: dict[str, NetworkChannel] = {}
+    if distributed:
+        if retry_policy is None and config == "faulted":
+            retry_policy = RetryPolicy(
+                max_attempts=10, base_backoff_ms=1.0, max_backoff_ms=8.0
+            )
+        for host, engine in engines.items():
+            if host == "local":
+                continue
+            channel = NetworkChannel(
+                f"ch-{host}", latency_ms=0.5, mb_per_second=50
+            )
+            if config == "faulted":
+                channel.fault_injector = FaultInjector(
+                    seed=fault_seed + _stable_hash(host) % 1000,
+                    transient_rate=0.05,
+                    timeout_rate=0.02,
+                )
+            local.add_linked_server(
+                host, engine, channel, retry_policy=retry_policy
+            )
+            channels[host] = channel
+    _create_view(schema, local, host_for)
+
+    name_map = {}
+    for table in schema.tables.values():
+        host = host_for(table)
+        name_map[table.name] = (
+            table.name if host == "local"
+            else f"{host}.master.dbo.{table.name}"
+        )
+    if schema.view is not None:
+        name_map[schema.view.name] = schema.view.name
+    return OracleWorld(config, local, name_map, channels)
+
+
+def build_worlds(
+    schema: SchemaSpec, fault_seed: int = 0
+) -> dict[str, OracleWorld]:
+    return {
+        config: build_world(schema, config, fault_seed=fault_seed)
+        for config in CONFIGS
+    }
+
+
+# ======================================================================
+# collation-aware multiset equality
+# ======================================================================
+
+def canonical_value(value: Any) -> tuple:
+    """Total-orderable canonical form: NULL < numbers < temporals <
+    strings; strings fold per the default collation; floats round to 9
+    significant digits so plan-dependent summation order can't produce
+    spurious last-ulp mismatches."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, float(int(value)))
+    if isinstance(value, (int, float)):
+        return (1, float(f"{float(value):.9g}"))
+    if isinstance(value, dt.datetime):
+        return (2, value.isoformat())
+    if isinstance(value, dt.date):
+        return (2, value.isoformat())
+    if isinstance(value, str):
+        return (3, DEFAULT_COLLATION.normalize(value))
+    return (4, repr(value))
+
+
+def canonical_rows(rows: list[tuple]) -> list[tuple]:
+    """Sorted canonical multiset of a result rowset."""
+    return sorted(
+        tuple(canonical_value(v) for v in row) for row in rows
+    )
+
+
+def rowsets_equal(a: list[tuple], b: list[tuple]) -> bool:
+    return canonical_rows(a) == canonical_rows(b)
+
+
+def is_sorted_by(
+    rows: list[tuple], order_keys: list[tuple[int, bool]]
+) -> bool:
+    """Whether ``rows`` respects the ORDER BY keys (ties free)."""
+    for previous, current in zip(rows, rows[1:]):
+        for ordinal, ascending in order_keys:
+            lo, hi = SortKey(previous[ordinal]), SortKey(current[ordinal])
+            if lo == hi:
+                continue
+            if (lo < hi) != ascending:
+                return False
+            break
+    return True
+
+
+# ======================================================================
+# mismatch reporting
+# ======================================================================
+
+def _sample(rows: list[tuple], limit: int = 8) -> str:
+    shown = [repr(r) for r in rows[:limit]]
+    if len(rows) > limit:
+        shown.append(f"... ({len(rows)} rows total)")
+    return "\n    ".join(shown) if shown else "<empty>"
+
+
+class Mismatch:
+    """One differential failure, with everything needed to reproduce."""
+
+    def __init__(
+        self,
+        case_id: str,
+        kind: str,
+        config: str,
+        detail: str,
+        sql_by_config: dict[str, str],
+        explain_by_config: dict[str, str],
+        reference_rows: list[tuple],
+        actual_rows: list[tuple],
+    ):
+        self.case_id = case_id
+        #: 'rows' (multiset differs), 'order' (ORDER BY violated), or
+        #: 'error' (a configuration raised)
+        self.kind = kind
+        self.config = config
+        self.detail = detail
+        self.sql_by_config = sql_by_config
+        self.explain_by_config = explain_by_config
+        self.reference_rows = reference_rows
+        self.actual_rows = actual_rows
+
+    def describe(self) -> str:
+        lines = [
+            f"=== MISMATCH case {self.case_id} "
+            f"[{self.kind}] config={self.config} ===",
+            self.detail,
+            f"repro: python tools/diffcheck.py --repro {self.case_id}",
+            "",
+        ]
+        for config, sql in self.sql_by_config.items():
+            lines.append(f"-- SQL [{config}] --")
+            lines.append(f"  {sql}")
+        lines.append("")
+        lines.append(f"reference rows:\n    {_sample(self.reference_rows)}")
+        lines.append(
+            f"{self.config} rows:\n    {_sample(self.actual_rows)}"
+        )
+        lines.append("")
+        for config, plan in self.explain_by_config.items():
+            lines.append(f"-- EXPLAIN [{config}] --")
+            lines.extend(f"  {line}" for line in plan.splitlines())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Mismatch({self.case_id}, {self.kind}, {self.config})"
+
+
+class DiffReport:
+    """Outcome of one differential run."""
+
+    def __init__(self) -> None:
+        self.cases_run = 0
+        self.mismatches: list[Mismatch] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"diffcheck: {self.cases_run} cases, all oracles agree"
+        parts = [
+            f"diffcheck: {len(self.mismatches)} mismatch(es) "
+            f"in {self.cases_run} cases",
+            "",
+        ]
+        parts += [m.describe() for m in self.mismatches]
+        return "\n".join(parts)
+
+
+# ======================================================================
+# the runner
+# ======================================================================
+
+#: queries drawn from each generated schema before moving to the next
+QUERIES_PER_SCHEMA = 10
+
+
+def case_id(schema_seed: int, query_index: int) -> str:
+    return f"{schema_seed}:{query_index}"
+
+
+def parse_case_id(text: str) -> tuple[int, int]:
+    schema_seed, _, query_index = text.partition(":")
+    return int(schema_seed), int(query_index or 0)
+
+
+class DifferentialRunner:
+    """Seeded fuzz driver: schemas -> queries -> oracle matrix."""
+
+    def __init__(
+        self,
+        seed: int,
+        queries_per_schema: int = QUERIES_PER_SCHEMA,
+        collect_explains: bool = True,
+    ):
+        self.seed = seed
+        self.queries_per_schema = queries_per_schema
+        self.collect_explains = collect_explains
+
+    # -- single case -------------------------------------------------------
+    def check_case(
+        self,
+        worlds: dict[str, OracleWorld],
+        query: GeneratedQuery,
+        cid: str,
+    ) -> Optional[Mismatch]:
+        sql_by_config = {
+            name: query.render(world.name_map)
+            for name, world in worlds.items()
+        }
+
+        def explains() -> dict[str, str]:
+            if not self.collect_explains:
+                return {}
+            return {
+                name: world.explain(query)
+                for name, world in worlds.items()
+            }
+
+        results: dict[str, QueryResult] = {}
+        for name, world in worlds.items():
+            if name == "faulted":
+                # per-case deterministic fault stream, independent of
+                # whatever ran before (so --repro replays exactly)
+                for channel in world.channels.values():
+                    if channel.fault_injector is not None:
+                        channel.fault_injector.reset(
+                            seed=_stable_hash(f"{cid}/{channel.name}")
+                        )
+            try:
+                results[name] = world.run(query)
+            except Exception:
+                return Mismatch(
+                    cid, "error", name,
+                    f"configuration raised:\n{traceback.format_exc()}",
+                    sql_by_config, explains(),
+                    results.get("local").rows if "local" in results else [],
+                    [],
+                )
+
+        reference = results["local"]
+        for name in CONFIGS[1:]:
+            actual = results[name]
+            if not rowsets_equal(reference.rows, actual.rows):
+                return Mismatch(
+                    cid, "rows", name,
+                    f"result multiset differs from the all-local "
+                    f"reference ({len(reference.rows)} vs "
+                    f"{len(actual.rows)} rows)",
+                    sql_by_config, explains(),
+                    reference.rows, actual.rows,
+                )
+        if query.order_keys:
+            for name, result in results.items():
+                if not is_sorted_by(result.rows, query.order_keys):
+                    return Mismatch(
+                        cid, "order", name,
+                        f"rows violate ORDER BY keys "
+                        f"{query.order_keys}",
+                        sql_by_config, explains(),
+                        reference.rows, result.rows,
+                    )
+        return None
+
+    def run_case(self, schema_seed: int, query_index: int) -> Optional[Mismatch]:
+        """Build the four worlds for one schema and run one query —
+        the ``--repro`` path."""
+        schema = generate_schema(schema_seed)
+        worlds = build_worlds(schema, fault_seed=schema_seed)
+        query = generate_query(
+            schema, schema_seed * 10_000 + query_index
+        )
+        return self.check_case(
+            worlds, query, case_id(schema_seed, query_index)
+        )
+
+    # -- batch -------------------------------------------------------------
+    def run(self, n_queries: int, progress=None) -> DiffReport:
+        report = DiffReport()
+        remaining = n_queries
+        schema_index = 0
+        while remaining > 0:
+            schema_seed = self.seed + schema_index
+            schema = generate_schema(schema_seed)
+            worlds = build_worlds(schema, fault_seed=schema_seed)
+            batch = min(remaining, self.queries_per_schema)
+            for query_index in range(batch):
+                query = generate_query(
+                    schema, schema_seed * 10_000 + query_index
+                )
+                cid = case_id(schema_seed, query_index)
+                mismatch = self.check_case(worlds, query, cid)
+                report.cases_run += 1
+                if mismatch is not None:
+                    report.mismatches.append(mismatch)
+            if progress is not None:
+                progress(schema_seed, report)
+            remaining -= batch
+            schema_index += 1
+        return report

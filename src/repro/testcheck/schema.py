@@ -1,0 +1,286 @@
+"""Seeded random federated schemas for the differential harness.
+
+A :class:`SchemaSpec` is a deterministic function of its seed: table
+shapes, host placement (local vs. linked server), row data, and the
+year-partitioned view are all drawn from one ``random.Random``.  The
+same spec materializes under any topology (everything local, or spread
+across linked servers), so the oracle configurations always query
+identical data.
+
+Design choices that keep generated queries well-behaved:
+
+* dimension tables carry a dense integer primary key that fact-table
+  foreign keys reference (so equi-joins always have sensible matches,
+  plus a few misses and NULLs);
+* varchar columns draw from a word list with deliberate case variants
+  (``'Alpha'``/``'alpha'``) to exercise collation-aware comparison;
+* every nullable column actually contains NULLs;
+* dates stay inside the partitioned view's year range so range
+  predicates interact with partition pruning.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from typing import Optional
+
+#: case variants are intentional: they exercise CI-collation equality,
+#: grouping, and ordering across every oracle configuration
+WORDS = (
+    "Alpha", "alpha", "ALPHA", "Beta", "beta", "Gamma", "gamma",
+    "Delta", "delta", "Echo", "Omega", "omega", "Sigma", "sigma",
+    "Zeta", "Kappa",
+)
+
+#: hosts a table may land on in the distributed topology
+HOSTS = ("local", "r1", "r2")
+
+#: years the partitioned view splits on
+PV_YEARS = (1992, 1993, 1994)
+
+
+class ColumnSpec:
+    """One column: name, SQL type text, and generation kind."""
+
+    __slots__ = ("name", "sql_type", "kind", "nullable")
+
+    def __init__(self, name: str, sql_type: str, kind: str,
+                 nullable: bool = True):
+        self.name = name
+        self.sql_type = sql_type
+        #: 'pk' | 'int' | 'float' | 'str' | 'date' | 'fk:<table>'
+        self.kind = kind
+        self.nullable = nullable
+
+    @property
+    def fk_target(self) -> Optional[str]:
+        if self.kind.startswith("fk:"):
+            return self.kind.split(":", 1)[1]
+        return None
+
+    def __repr__(self) -> str:
+        return f"ColumnSpec({self.name} {self.sql_type} [{self.kind}])"
+
+
+class TableSpec:
+    """One table: columns, deterministic rows, and its distributed host."""
+
+    __slots__ = ("name", "columns", "rows", "host", "check_sql")
+
+    def __init__(self, name: str, columns: list[ColumnSpec],
+                 rows: list[tuple], host: str,
+                 check_sql: Optional[str] = None):
+        self.name = name
+        self.columns = columns
+        self.rows = rows
+        self.host = host
+        #: extra table-level CHECK clause (partitioned-view members)
+        self.check_sql = check_sql
+
+    def ddl(self) -> str:
+        parts = []
+        for column in self.columns:
+            text = f"{column.name} {column.sql_type}"
+            if column.kind == "pk":
+                text += " PRIMARY KEY"
+            elif not column.nullable:
+                text += " NOT NULL"
+            parts.append(text)
+        body = ", ".join(parts)
+        if self.check_sql:
+            body += f", CHECK ({self.check_sql})"
+        return f"CREATE TABLE {self.name} ({body})"
+
+    def column(self, name: str) -> ColumnSpec:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)
+
+    def columns_of_kind(self, *kinds: str) -> list[ColumnSpec]:
+        out = []
+        for column in self.columns:
+            kind = "fk" if column.kind.startswith("fk:") else column.kind
+            if kind in kinds:
+                out.append(column)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TableSpec({self.name}@{self.host}, "
+            f"{len(self.columns)} cols, {len(self.rows)} rows)"
+        )
+
+
+class ViewSpec:
+    """A partitioned view over year member tables."""
+
+    __slots__ = ("name", "members", "columns")
+
+    def __init__(self, name: str, members: list[TableSpec],
+                 columns: list[ColumnSpec]):
+        self.name = name
+        self.members = members
+        #: logical columns of the view (same for every member)
+        self.columns = columns
+
+    def columns_of_kind(self, *kinds: str) -> list[ColumnSpec]:
+        out = []
+        for column in self.columns:
+            kind = "fk" if column.kind.startswith("fk:") else column.kind
+            if kind in kinds:
+                out.append(column)
+        return out
+
+
+class SchemaSpec:
+    """The generated world: tables, an optional partitioned view, and
+    which tables reference which (for join generation)."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.tables: dict[str, TableSpec] = {}
+        self.view: Optional[ViewSpec] = None
+
+    @property
+    def fact_tables(self) -> list[TableSpec]:
+        return [t for t in self.tables.values()
+                if any(c.fk_target for c in t.columns)]
+
+    @property
+    def dim_tables(self) -> list[TableSpec]:
+        return [t for t in self.tables.values()
+                if not any(c.fk_target for c in t.columns)
+                and self.view is not None
+                and t not in self.view.members]
+
+    def __repr__(self) -> str:
+        return f"SchemaSpec(seed={self.seed}, tables={list(self.tables)})"
+
+
+def _string_value(rng: random.Random, nullable: bool) -> Optional[str]:
+    if nullable and rng.random() < 0.15:
+        return None
+    return rng.choice(WORDS)
+
+
+def _date_value(rng: random.Random, nullable: bool) -> Optional[dt.date]:
+    if nullable and rng.random() < 0.12:
+        return None
+    year = rng.choice(PV_YEARS)
+    return dt.date(year, rng.randint(1, 12), rng.randint(1, 27))
+
+
+def generate_schema(seed: int) -> SchemaSpec:
+    """Deterministic schema + data for one fuzz case family."""
+    rng = random.Random(seed)
+    spec = SchemaSpec(seed)
+
+    # ---- dimension tables -------------------------------------------------
+    n_dims = rng.randint(2, 3)
+    for d in range(n_dims):
+        name = f"dim{d}"
+        n_rows = rng.randint(20, 50)
+        columns = [
+            ColumnSpec(f"{name}_id", "int", "pk", nullable=False),
+            ColumnSpec("grp", "int", "int"),
+            ColumnSpec("label", "varchar(20)", "str"),
+            ColumnSpec("score", "float", "float"),
+            ColumnSpec("since", "date", "date"),
+        ]
+        rows = []
+        for i in range(n_rows):
+            rows.append((
+                i,
+                rng.randint(0, 4) if rng.random() > 0.1 else None,
+                _string_value(rng, True),
+                round(rng.uniform(0, 100), 2) if rng.random() > 0.1 else None,
+                _date_value(rng, True),
+            ))
+        spec.tables[name] = TableSpec(
+            name, columns, rows, rng.choice(HOSTS)
+        )
+
+    # ---- fact tables ------------------------------------------------------
+    n_facts = rng.randint(1, 2)
+    for f in range(n_facts):
+        name = f"fact{f}"
+        n_rows = rng.randint(40, 90)
+        columns = [ColumnSpec(f"{name}_id", "int", "pk", nullable=False)]
+        # each fact references 1..n_dims dimensions
+        referenced = rng.sample(range(n_dims), rng.randint(1, n_dims))
+        for d in referenced:
+            columns.append(
+                ColumnSpec(f"dim{d}_fk", "int", f"fk:dim{d}")
+            )
+        columns += [
+            ColumnSpec("qty", "int", "int"),
+            ColumnSpec("amount", "float", "float"),
+            ColumnSpec("note", "varchar(20)", "str"),
+            ColumnSpec("odate", "date", "date"),
+        ]
+        rows = []
+        for i in range(n_rows):
+            row = [i]
+            for d in referenced:
+                dim_rows = len(spec.tables[f"dim{d}"].rows)
+                if rng.random() < 0.08:
+                    row.append(None)
+                elif rng.random() < 0.08:
+                    row.append(dim_rows + rng.randint(0, 5))  # dangling fk
+                else:
+                    row.append(rng.randrange(dim_rows))
+            row.append(rng.randint(0, 9))
+            row.append(round(rng.uniform(-50, 500), 2)
+                       if rng.random() > 0.08 else None)
+            row.append(_string_value(rng, True))
+            row.append(_date_value(rng, True))
+            rows.append(tuple(row))
+        spec.tables[name] = TableSpec(
+            name, columns, rows, rng.choice(HOSTS)
+        )
+
+    # ---- partitioned view over year members -------------------------------
+    member_columns = [
+        ColumnSpec("k", "int", "int", nullable=False),
+        ColumnSpec("pdate", "date", "date", nullable=False),
+        ColumnSpec("val", "int", "int"),
+        ColumnSpec("tag", "varchar(20)", "str"),
+    ]
+    members = []
+    hosts = list(HOSTS)
+    rng.shuffle(hosts)
+    for index, year in enumerate(PV_YEARS):
+        member_name = f"pv_{year}"
+        n_rows = rng.randint(15, 35)
+        rows = []
+        for i in range(n_rows):
+            rows.append((
+                i,
+                dt.date(year, rng.randint(1, 12), rng.randint(1, 27)),
+                rng.randint(0, 20) if rng.random() > 0.1 else None,
+                _string_value(rng, True),
+            ))
+        member = TableSpec(
+            member_name,
+            [ColumnSpec(c.name, c.sql_type, c.kind, c.nullable)
+             for c in member_columns],
+            rows,
+            hosts[index % len(hosts)],
+            check_sql=(
+                f"pdate >= '{year}-1-1' AND pdate < '{year + 1}-1-1'"
+            ),
+        )
+        members.append(member)
+        spec.tables[member_name] = member
+    spec.view = ViewSpec("pv", members, member_columns)
+
+    # guarantee the distributed topology is actually distributed: at
+    # least one remote and one local table
+    tables = list(spec.tables.values())
+    if not any(t.host != "local" for t in tables):
+        rng.choice(tables).host = "r1"
+    if not any(t.host == "local" for t in tables):
+        rng.choice(tables).host = "local"
+    return spec

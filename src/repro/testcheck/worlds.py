@@ -1,0 +1,224 @@
+"""Shared world builders for tests, benchmarks, and the testcheck
+harness.
+
+One place to construct the standard engine topologies everything else
+uses: the small people/cities dataset, the remote items/categories
+pair, the year-partitioned view, and the paper's canonical scenarios
+(Example 1 / Figure 4, partition pruning, remote spool, parameterized
+join).  ``tests/conftest.py`` and ``benchmarks/conftest.py`` expose
+these as fixtures; the golden-plan corpus and the differential
+harness call them directly so every consumer agrees on the setup.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.engine import Engine, ServerInstance
+from repro.network.channel import NetworkChannel
+
+
+def build_people_engine() -> Engine:
+    """A local engine with a small, known people/cities dataset."""
+    e = Engine("local")
+    e.execute(
+        "CREATE TABLE people (id int PRIMARY KEY, name varchar(40), "
+        "city_id int, age int, salary float)"
+    )
+    e.execute(
+        "CREATE TABLE cities (city_id int PRIMARY KEY, city varchar(40), "
+        "country varchar(40))"
+    )
+    e.execute(
+        "INSERT INTO people VALUES "
+        "(1, 'Ada', 1, 36, 100.0), (2, 'Grace', 2, 45, 120.0), "
+        "(3, 'Edsger', 3, 50, 90.0), (4, 'Barbara', 1, 41, 130.0), "
+        "(5, 'Tony', 3, 42, NULL), (6, 'Donald', NULL, 55, 85.0)"
+    )
+    e.execute(
+        "INSERT INTO cities VALUES (1, 'Seattle', 'USA'), "
+        "(2, 'Arlington', 'USA'), (3, 'Austin', 'USA')"
+    )
+    return e
+
+
+def build_remote_pair() -> tuple[Engine, ServerInstance, NetworkChannel]:
+    """(local engine, remote ServerInstance, channel): remote holds an
+    items table, local holds a categories table."""
+    local = Engine("local")
+    remote = ServerInstance("remote0")
+    remote.execute(
+        "CREATE TABLE items (item_id int PRIMARY KEY, name varchar(40), "
+        "category_id int, price float)"
+    )
+    for i in range(1, 101):
+        remote.execute(
+            f"INSERT INTO items VALUES ({i}, 'item{i}', {i % 10}, {i * 1.5})"
+        )
+    remote.execute("CREATE INDEX ix_items_cat ON items (category_id)")
+    local.execute(
+        "CREATE TABLE categories (category_id int PRIMARY KEY, "
+        "label varchar(40))"
+    )
+    for c in range(10):
+        local.execute(f"INSERT INTO categories VALUES ({c}, 'cat{c}')")
+    channel = NetworkChannel("test-wan", latency_ms=1.0, mb_per_second=50)
+    local.add_linked_server("remote0", remote, channel)
+    return local, remote, channel
+
+
+def build_partitioned_engine() -> Engine:
+    """Local engine with a 3-member local partitioned view on years."""
+    e = Engine("local")
+    for year in (1992, 1993, 1994):
+        e.execute(
+            f"CREATE TABLE li_{year} (l_orderkey int, "
+            f"l_commitdate date NOT NULL CHECK "
+            f"(l_commitdate >= '{year}-1-1' AND l_commitdate < '{year + 1}-1-1'), "
+            "l_qty int)"
+        )
+        for i in range(8):
+            e.execute(
+                f"INSERT INTO li_{year} VALUES ({i}, "
+                f"'{year}-03-{i + 1:02d}', {i})"
+            )
+    e.execute(
+        "CREATE VIEW li AS SELECT * FROM li_1992 "
+        "UNION ALL SELECT * FROM li_1993 UNION ALL SELECT * FROM li_1994"
+    )
+    return e
+
+
+def build_fig4_world(
+    customers: int = 1000,
+    suppliers: int = 100,
+    latency_ms: float = 2.0,
+    mb_per_second: float = 10.0,
+) -> tuple[Engine, ServerInstance, NetworkChannel]:
+    """The Example 1 setup: customer+supplier remote, nation local."""
+    from repro.workloads import load_tpch
+    from repro.workloads.tpch import TPCH_DDL
+
+    local = Engine("local")
+    remote = ServerInstance("remote0")
+    remote.catalog.create_database("tpch10g")
+    data = load_tpch(remote, customers=customers, suppliers=suppliers,
+                     tables=[])
+    for table_name in ("customer", "supplier"):
+        remote.execute(
+            TPCH_DDL[table_name].replace(
+                f"CREATE TABLE {table_name}",
+                f"CREATE TABLE tpch10g.dbo.{table_name}",
+            )
+        )
+        table = remote.catalog.database("tpch10g").table(table_name)
+        for row in data.table_rows()[table_name]:
+            table.insert(row)
+    load_tpch(local, data=data, tables=["nation", "region"])
+    channel = NetworkChannel(
+        "wan", latency_ms=latency_ms, mb_per_second=mb_per_second
+    )
+    local.add_linked_server("remote0", remote, channel)
+    return local, remote, channel
+
+
+#: the Example 1 / Figure 4 query ("which customers are in the same
+#: nation as some supplier")
+FIG4_SQL = (
+    "SELECT c.c_name, c.c_address, c.c_phone "
+    "FROM remote0.tpch10g.dbo.customer c, remote0.tpch10g.dbo.supplier s, "
+    "nation n WHERE c.c_nationkey = n.n_nationkey "
+    "AND n.n_nationkey = s.s_nationkey"
+)
+
+
+def build_pruning_world(
+    years: tuple[int, ...] = (1992, 1993, 1994),
+    rows_per_year: int = 40,
+) -> tuple[Engine, dict[int, NetworkChannel]]:
+    """Distributed partitioned view, one member server per year
+    (Section 4.1.5's federated lineitem)."""
+    local = Engine("local")
+    channels: dict[int, NetworkChannel] = {}
+    for year in years:
+        server = ServerInstance(f"srv{year}")
+        server.execute(
+            f"CREATE TABLE li_{year} (l_orderkey int, l_qty int, "
+            "l_commitdate date NOT NULL CHECK "
+            f"(l_commitdate >= '{year}-1-1' AND "
+            f"l_commitdate < '{year + 1}-1-1'))"
+        )
+        table = server.catalog.database().table(f"li_{year}")
+        for i in range(rows_per_year):
+            table.insert(
+                (i, i % 7, dt.date(year, (i % 12) + 1, (i % 27) + 1))
+            )
+        channel = NetworkChannel(f"ch{year}", latency_ms=1)
+        local.add_linked_server(f"srv{year}", server, channel)
+        channels[year] = channel
+    branches = " UNION ALL ".join(
+        f"SELECT * FROM srv{year}.master.dbo.li_{year}" for year in years
+    )
+    local.execute(f"CREATE VIEW lineitem AS {branches}")
+    return local, channels
+
+
+#: a one-member date-range read the static pruner collapses
+PRUNING_SQL = (
+    "SELECT COUNT(*) FROM lineitem "
+    "WHERE l_commitdate >= '1993-1-1' AND l_commitdate < '1994-1-1'"
+)
+
+
+def build_spool_world() -> tuple[Engine, NetworkChannel]:
+    """Two remote servers whose non-equi join forces a remote-inner
+    nested-loops rescan (Section 4.1.4's spool scenario)."""
+    local = Engine("local")
+    remote = ServerInstance("r1")
+    remote.execute("CREATE TABLE readings (id int, v int)")
+    table = remote.catalog.database().table("readings")
+    for i in range(400):
+        table.insert((i, i % 100))
+    channel = NetworkChannel("wan", latency_ms=1.0, mb_per_second=20)
+    local.add_linked_server("r1", remote, channel)
+    remote2 = ServerInstance("r2")
+    remote2.execute("CREATE TABLE probes (lo int, hi int)")
+    probe_table = remote2.catalog.database().table("probes")
+    for i in range(30):
+        probe_table.insert((i * 3, i * 3 + 3))
+    channel2 = NetworkChannel("wan2", latency_ms=1.0, mb_per_second=20)
+    local.add_linked_server("r2", remote2, channel2)
+    return local, channel
+
+
+#: non-equi join between two remote servers (remote spool candidate)
+SPOOL_SQL = (
+    "SELECT COUNT(*) FROM r2.master.dbo.probes p, r1.master.dbo.readings r "
+    "WHERE p.lo <= r.v AND r.v < p.hi"
+)
+
+
+def build_param_join_world() -> tuple[Engine, ServerInstance, NetworkChannel]:
+    """Small local outer feeding a large remote inner: the Section
+    4.1.2 parameterized-join setup (remote-query rule disabled so the
+    probe strategy carries the plan)."""
+    from repro.core.optimizer import OptimizerOptions
+
+    local = Engine("local")
+    remote = ServerInstance("r1")
+    remote.execute("CREATE TABLE d (k int PRIMARY KEY, v varchar(10))")
+    table = remote.catalog.database().table("d")
+    for i in range(2000):
+        table.insert((i, f"v{i}"))
+    channel = NetworkChannel("c", latency_ms=1, mb_per_second=5)
+    local.add_linked_server("r1", remote, channel)
+    local.execute("CREATE TABLE f (k int)")
+    ftable = local.catalog.database().table("f")
+    for i in range(40):
+        ftable.insert((i % 5,))
+    local.optimizer.options = OptimizerOptions(enable_remote_query=False)
+    return local, remote, channel
+
+
+#: 40 outer rows, 5 distinct keys against the remote inner
+PARAM_JOIN_SQL = "SELECT d.v FROM f, r1.master.dbo.d d WHERE f.k = d.k"

@@ -77,9 +77,15 @@ def _cmp(a: Any, b: Any) -> int:
 def _coerce_pair(a: Any, b: Any) -> tuple[Any, Any]:
     """Coerce mixed-kind endpoints the way SQL comparison would:
     strings against dates parse as dates, strings against numbers as
-    numbers, dates against datetimes widen to datetimes."""
+    numbers, dates against datetimes widen to datetimes; string pairs
+    fold to the default collation's comparison key (case-insensitive,
+    like SQL Server's Latin1_General_CI_AS)."""
     import datetime as _dt
 
+    from repro.types.collation import DEFAULT_COLLATION
+
+    if isinstance(a, str) and isinstance(b, str):
+        return DEFAULT_COLLATION.normalize(a), DEFAULT_COLLATION.normalize(b)
     if isinstance(a, str) and isinstance(b, (_dt.date, _dt.datetime)):
         parsed = _parse_temporal_endpoint(a, b)
         if parsed is not None:

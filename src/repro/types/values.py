@@ -15,9 +15,23 @@ import re
 from typing import Any, Optional
 
 from repro.errors import ExecutionError
+from repro.types.collation import DEFAULT_COLLATION
 
 #: canonical NULL marker (SQL NULL == Python None)
 NULL = None
+
+
+def collation_key(value: Any) -> Any:
+    """Canonical comparison/hash key for a value under the engine's
+    default collation: strings fold per Latin1_General_CI_AS (so
+    ``'Apple' = 'APPLE'``, matching LIKE's existing behaviour); other
+    values pass through.  Every equality/grouping/hashing site must use
+    the same fold or hash joins and stream aggregates would disagree
+    with ``=``.
+    """
+    if isinstance(value, str):
+        return DEFAULT_COLLATION.normalize(value)
+    return value
 
 
 def _comparable(a: Any, b: Any) -> tuple[Any, Any]:
@@ -28,6 +42,9 @@ def _comparable(a: Any, b: Any) -> tuple[Any, Any]:
         b = int(b)
     if isinstance(a, (int, float)) and isinstance(b, (int, float)):
         return a, b
+    if isinstance(a, str) and isinstance(b, str):
+        # string comparison honours the default collation
+        return DEFAULT_COLLATION.normalize(a), DEFAULT_COLLATION.normalize(b)
     if isinstance(a, _dt.datetime) and isinstance(b, _dt.date) and not isinstance(
         b, _dt.datetime
     ):

@@ -1,12 +1,21 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The actual world construction lives in
+:mod:`repro.testcheck.worlds` so tests, benchmarks, the golden-plan
+corpus, and the differential harness all build identical setups; the
+fixtures here are thin wrappers.
+"""
 
 from __future__ import annotations
 
-import datetime as dt
-
 import pytest
 
-from repro import Engine, NetworkChannel, ServerInstance
+from repro import Engine
+from repro.testcheck.worlds import (
+    build_partitioned_engine,
+    build_people_engine,
+    build_remote_pair,
+)
 
 
 @pytest.fixture
@@ -18,72 +27,17 @@ def engine() -> Engine:
 @pytest.fixture
 def people_engine() -> Engine:
     """A local engine with a small, known people/cities dataset."""
-    e = Engine("local")
-    e.execute(
-        "CREATE TABLE people (id int PRIMARY KEY, name varchar(40), "
-        "city_id int, age int, salary float)"
-    )
-    e.execute(
-        "CREATE TABLE cities (city_id int PRIMARY KEY, city varchar(40), "
-        "country varchar(40))"
-    )
-    e.execute(
-        "INSERT INTO people VALUES "
-        "(1, 'Ada', 1, 36, 100.0), (2, 'Grace', 2, 45, 120.0), "
-        "(3, 'Edsger', 3, 50, 90.0), (4, 'Barbara', 1, 41, 130.0), "
-        "(5, 'Tony', 3, 42, NULL), (6, 'Donald', NULL, 55, 85.0)"
-    )
-    e.execute(
-        "INSERT INTO cities VALUES (1, 'Seattle', 'USA'), "
-        "(2, 'Arlington', 'USA'), (3, 'Austin', 'USA')"
-    )
-    return e
+    return build_people_engine()
 
 
 @pytest.fixture
 def remote_pair():
     """(local engine, remote ServerInstance, channel): remote holds an
     items table, local holds a categories table."""
-    local = Engine("local")
-    remote = ServerInstance("remote0")
-    remote.execute(
-        "CREATE TABLE items (item_id int PRIMARY KEY, name varchar(40), "
-        "category_id int, price float)"
-    )
-    for i in range(1, 101):
-        remote.execute(
-            f"INSERT INTO items VALUES ({i}, 'item{i}', {i % 10}, {i * 1.5})"
-        )
-    remote.execute("CREATE INDEX ix_items_cat ON items (category_id)")
-    local.execute(
-        "CREATE TABLE categories (category_id int PRIMARY KEY, "
-        "label varchar(40))"
-    )
-    for c in range(10):
-        local.execute(f"INSERT INTO categories VALUES ({c}, 'cat{c}')")
-    channel = NetworkChannel("test-wan", latency_ms=1.0, mb_per_second=50)
-    local.add_linked_server("remote0", remote, channel)
-    return local, remote, channel
+    return build_remote_pair()
 
 
 @pytest.fixture
 def partitioned_engine():
     """Local engine with a 3-member local partitioned view on years."""
-    e = Engine("local")
-    for year in (1992, 1993, 1994):
-        e.execute(
-            f"CREATE TABLE li_{year} (l_orderkey int, "
-            f"l_commitdate date NOT NULL CHECK "
-            f"(l_commitdate >= '{year}-1-1' AND l_commitdate < '{year + 1}-1-1'), "
-            "l_qty int)"
-        )
-        for i in range(8):
-            e.execute(
-                f"INSERT INTO li_{year} VALUES ({i}, "
-                f"'{year}-03-{i + 1:02d}', {i})"
-            )
-    e.execute(
-        "CREATE VIEW li AS SELECT * FROM li_1992 "
-        "UNION ALL SELECT * FROM li_1993 UNION ALL SELECT * FROM li_1994"
-    )
-    return e
+    return build_partitioned_engine()

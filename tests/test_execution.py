@@ -194,3 +194,71 @@ class TestHalloweenProtection:
         engine.execute("INSERT INTO t2 VALUES (1)")
         engine.execute("UPDATE t2 SET v = v + 1")
         assert engine.execute("SELECT v FROM t2").scalar() == 2
+
+
+class TestCollationSemantics:
+    """Engine-level collation regressions: equality, grouping,
+    DISTINCT, hash-join keys, and ORDER BY must all fold case the way
+    Latin1_General_CI_AS does (and the way LIKE always did)."""
+
+    @pytest.fixture
+    def fruit(self, engine):
+        engine.execute("CREATE TABLE fruit (id int, name varchar(20))")
+        engine.execute(
+            "INSERT INTO fruit VALUES "
+            "(1, 'Apple'), (2, 'apple'), (3, 'APPLE'), "
+            "(4, 'Banana'), (5, NULL)"
+        )
+        return engine
+
+    def test_where_equality_folds_case(self, fruit):
+        rows = fruit.execute(
+            "SELECT id FROM fruit WHERE name = 'APPLE'"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2, 3]
+
+    def test_group_by_folds_case(self, fruit):
+        rows = fruit.execute(
+            "SELECT COUNT(*) FROM fruit WHERE name IS NOT NULL "
+            "GROUP BY name"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_select_distinct_folds_case(self, fruit):
+        rows = fruit.execute(
+            "SELECT DISTINCT name FROM fruit WHERE name IS NOT NULL"
+        ).rows
+        assert len(rows) == 2
+
+    def test_count_distinct_folds_case(self, fruit):
+        assert fruit.execute(
+            "SELECT COUNT(DISTINCT name) FROM fruit"
+        ).scalar() == 2
+
+    def test_hash_join_keys_fold_case(self, engine):
+        engine.execute("CREATE TABLE a1 (name varchar(10))")
+        engine.execute("CREATE TABLE b1 (name varchar(10), v int)")
+        engine.execute("INSERT INTO a1 VALUES ('ALPHA'), ('beta')")
+        engine.execute("INSERT INTO b1 VALUES ('alpha', 1), ('Beta', 2)")
+        rows = engine.execute(
+            "SELECT b1.v FROM a1, b1 WHERE a1.name = b1.name"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_order_by_folds_case(self, fruit):
+        rows = fruit.execute(
+            "SELECT name FROM fruit WHERE id IN (2, 4) ORDER BY name"
+        ).rows
+        assert [r[0] for r in rows] == ["apple", "Banana"]
+
+    def test_nulls_order_first_ascending(self, fruit):
+        rows = fruit.execute(
+            "SELECT name FROM fruit ORDER BY name ASC"
+        ).rows
+        assert rows[0][0] is None
+
+    def test_nulls_order_last_descending(self, fruit):
+        rows = fruit.execute(
+            "SELECT name FROM fruit ORDER BY name DESC"
+        ).rows
+        assert rows[-1][0] is None

@@ -1,0 +1,68 @@
+"""Golden-plan regression corpus.
+
+Each canonical plan from the paper is pinned as normalized EXPLAIN
+text under ``tests/golden/``.  A failure here means the optimizer now
+picks a different plan *shape* for a scenario the paper motivates —
+review the diff; if the change is intended, regenerate with
+``python tools/update_golden.py`` and commit the new snapshot.
+"""
+
+import pytest
+
+from repro.testcheck.golden import (
+    GOLDEN_CASES,
+    compute_golden,
+    load_snapshot,
+    plan_diff,
+    snapshot_path,
+)
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_plan_matches_snapshot(name):
+    path = snapshot_path(name)
+    assert path.exists(), (
+        f"missing golden snapshot {path}; "
+        "run `python tools/update_golden.py`"
+    )
+    expected = load_snapshot(name)
+    actual = compute_golden(name)
+    if expected != actual:
+        pytest.fail(
+            f"plan shape changed for '{name}':\n"
+            + plan_diff(name, expected, actual)
+            + "\nIf intended, regenerate with "
+            "`python tools/update_golden.py` and commit the diff."
+        )
+
+
+def test_snapshots_have_no_volatile_numbers():
+    # snapshots must stay insensitive to estimator tuning
+    for name in GOLDEN_CASES:
+        text = load_snapshot(name)
+        assert "rows=#" in text or "cost=#" in text
+        import re
+
+        assert not re.search(r"(rows|cost)=[0-9]", text), (
+            f"unmasked estimate in {name}"
+        )
+
+
+def test_fig4_snapshot_pins_remote_join_shape():
+    # Figure 4(b): customer ships whole, supplier⋈nation runs locally
+    # with the supplier column set reduced remotely
+    text = load_snapshot("fig4_remote_join")
+    assert "RemoteQuery" in text
+    assert "customer" in text
+    assert "supplier" in text
+
+
+def test_pruning_snapshot_contacts_one_member():
+    # §4.1.5: only the 1993 member runs remote SQL; the other branches
+    # collapse to constant scans
+    text = load_snapshot("partition_pruning")
+    assert text.count("RemoteQuery") == 1
+    assert "li_1993" in text
+    assert "ConstScan" in text

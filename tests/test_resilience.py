@@ -27,6 +27,8 @@ from repro.resilience import NO_RETRY
 from repro.resilience.faults import DOWN, TIMEOUT, TRANSIENT
 from repro.resilience.retry import call_with_retry
 
+pytestmark = pytest.mark.integration
+
 
 # ----------------------------------------------------------------------
 # fixtures
@@ -490,3 +492,79 @@ class TestRemoteDmlUnderFaults:
         assert members[1992].execute(
             "SELECT COUNT(*) FROM li_1992"
         ).scalar() == 2
+
+
+# ----------------------------------------------------------------------
+# observability x resilience interplay: one traced, retried query must
+# tell one consistent story across trace events, metrics counters, and
+# the injector's own accounting
+# ----------------------------------------------------------------------
+class TestObservabilityResilienceInterplay:
+    def test_traced_retried_query_is_consistent(self, remote_pair):
+        local, __, server = remote_pair
+        local.execute("SELECT * FROM r0.master.dbo.t")  # warm metadata
+        injector = _inject(local, "r0", seed=0)
+        injector.fail_next(TRANSIENT, count=2)
+        local.tracing_enabled = True
+        try:
+            result = local.execute("SELECT * FROM r0.master.dbo.t WHERE id = 1")
+        finally:
+            local.tracing_enabled = False
+
+        # the query still answers correctly
+        assert result.rows == [(1, "one")]
+
+        # trace events match the scripted fault count exactly
+        fault_events = [
+            e for e in result.trace.events if e.name == "fault_injected"
+        ]
+        retry_events = [e for e in result.trace.events if e.name == "retry"]
+        assert len(fault_events) == 2
+        assert len(retry_events) == 2
+        assert all(e.attrs["kind"] == "transient" for e in fault_events)
+        # retry attempts are numbered and carry the error class
+        assert [e.attrs["attempt"] for e in retry_events] == [1, 2]
+        assert all(
+            e.attrs["error"] == "TransientNetworkError" for e in retry_events
+        )
+
+        # metrics agree with the trace and with the injector
+        assert local.metrics.value_of("network.faults_injected") == \
+            injector.total_injected == 2
+        assert local.metrics.value_of("network.retries") == len(retry_events)
+        assert local.metrics.value_of("network.retry_giveups") == 0
+        # backoff time was charged to the channel (and is positive)
+        assert local.metrics.value_of("network.backoff_ms") > 0
+
+    def test_random_fault_run_counters_reconcile(self, remote_pair):
+        local, __, server = remote_pair
+        injector = _inject(local, "r0", seed=77, transient_rate=0.12)
+        outcomes = {"ok": 0, "giveup": 0}
+        for __i in range(30):
+            try:
+                local.execute("SELECT COUNT(*) FROM r0.master.dbo.t")
+                outcomes["ok"] += 1
+            except TransientNetworkError:
+                outcomes["giveup"] += 1
+        injected = local.metrics.value_of("network.faults_injected")
+        retries = local.metrics.value_of("network.retries")
+        giveups = local.metrics.value_of("network.retry_giveups")
+        assert injected == injector.total_injected > 0
+        # every injected fault was either absorbed by a retry or was
+        # the final fault of an exhausted attempt sequence (a giveup):
+        # the three counters must reconcile exactly
+        assert injected == retries + giveups
+        assert giveups == outcomes["giveup"]
+        assert outcomes["ok"] > 0
+
+    def test_trace_off_keeps_counters(self, remote_pair):
+        # metrics must not depend on tracing being enabled
+        local, __, server = remote_pair
+        local.execute("SELECT * FROM r0.master.dbo.t")  # warm metadata
+        injector = _inject(local, "r0", seed=0)
+        injector.fail_next(TRANSIENT)
+        assert local.tracing_enabled is False
+        result = local.execute("SELECT * FROM r0.master.dbo.t")
+        assert len(result.rows) == 3
+        assert local.metrics.value_of("network.faults_injected") == 1
+        assert local.metrics.value_of("network.retries") == 1

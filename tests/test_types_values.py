@@ -22,6 +22,8 @@ from repro.types import (
     sql_or,
 )
 
+pytestmark = pytest.mark.unit
+
 
 class TestComparisons:
     def test_eq_basic(self):
@@ -142,3 +144,48 @@ class TestDateFunctions:
 
     def test_date_add_null(self):
         assert date_add_days(None, 5) is None
+
+
+class TestCollation:
+    """SQL Server's default collation (Latin1_General_CI_AS) is
+    case-insensitive — every comparison path must agree with LIKE."""
+
+    def test_eq_is_case_insensitive(self):
+        assert sql_eq("Apple", "APPLE") is True
+        assert sql_eq("apple", "Apple") is True
+        assert sql_ne("apple", "APPLE") is False
+
+    def test_eq_distinct_strings_still_differ(self):
+        assert sql_eq("apple", "apples") is False
+
+    def test_ordering_folds_case(self):
+        # 'apple' < 'BANANA' under CI collation ('b' > 'a' after fold)
+        assert sql_lt("apple", "BANANA") is True
+        assert sql_gt("ZEBRA", "apple") is True
+        assert sql_le("Apple", "APPLE") is True
+        assert sql_ge("Apple", "APPLE") is True
+
+    def test_eq_agrees_with_like(self):
+        # regression: sql_eq used to be case-sensitive while LIKE
+        # folded case, so WHERE name = 'X' and WHERE name LIKE 'X'
+        # disagreed on the same data
+        assert sql_like("Seattle", "seattle") is sql_eq("Seattle", "seattle")
+
+    def test_collation_key_folds_strings_only(self):
+        from repro.types.values import collation_key
+
+        assert collation_key("AbC") == collation_key("abc")
+        assert collation_key(5) == 5
+        assert collation_key(None) is None
+
+    def test_sort_key_case_insensitive(self):
+        from repro.types.intervals import SortKey
+
+        assert SortKey("Apple") == SortKey("APPLE")
+        assert SortKey("apple") < SortKey("BANANA")
+
+    def test_sort_key_nulls_sort_low(self):
+        from repro.types.intervals import SortKey
+
+        assert SortKey(None) < SortKey("aaa")
+        assert SortKey(None) < SortKey(-1e18)

@@ -6,7 +6,10 @@ Fails (exit 1) when:
 * any Markdown file under the repo root or ``docs/`` contains a
   relative link to a file that does not exist, or
 * ``README.md`` lacks a "Resilience" section, or its link to
-  ``docs/FAULT_MODEL.md`` is missing.
+  ``docs/FAULT_MODEL.md`` is missing, or
+* ``README.md`` lacks a "Testing" section, or its link to
+  ``docs/TESTING.md`` is missing, or ``docs/TESTING.md`` does not
+  document the oracle matrix and the seed-repro workflow.
 
 External links (http/https/mailto) and intra-page anchors are not
 checked — only the repo-relative ones we can verify offline.
@@ -51,6 +54,29 @@ def check_readme() -> list[str]:
         problems.append("README.md: missing a 'Resilience' section")
     if "docs/FAULT_MODEL.md" not in readme:
         problems.append("README.md: missing link to docs/FAULT_MODEL.md")
+    if not re.search(r"^#+\s+Testing\b", readme, re.MULTILINE):
+        problems.append("README.md: missing a 'Testing' section")
+    if "docs/TESTING.md" not in readme:
+        problems.append("README.md: missing link to docs/TESTING.md")
+    return problems
+
+
+def check_testing_doc() -> list[str]:
+    path = ROOT / "docs" / "TESTING.md"
+    if not path.exists():
+        return ["docs/TESTING.md: missing"]
+    text = path.read_text(encoding="utf-8")
+    problems = []
+    # the oracle matrix: every configuration must be documented
+    for config in ("`local`", "`distributed`", "`ablated`", "`faulted`"):
+        if config not in text:
+            problems.append(
+                f"docs/TESTING.md: oracle matrix missing {config}"
+            )
+    # the seed-repro workflow and the regenerator must be shown
+    for needle in ("--repro", "tools/update_golden.py", "tests/golden"):
+        if needle not in text:
+            problems.append(f"docs/TESTING.md: missing '{needle}'")
     return problems
 
 
@@ -59,6 +85,7 @@ def main() -> int:
     for path in markdown_files():
         problems += check_links(path)
     problems += check_readme()
+    problems += check_testing_doc()
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:

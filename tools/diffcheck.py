@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Differential query-correctness fuzzer CLI.
+
+Runs the multi-oracle harness over seeded random federated workloads:
+every generated query executes under the all-local reference, the full
+distributed optimizer, the remote-rules-ablated optimizer, and a
+fault-injected configuration with retries — and all four must agree.
+
+Usage::
+
+    python tools/diffcheck.py --seed 42 --n 50          # PR smoke
+    python tools/diffcheck.py --seed 7 --n 500          # nightly fuzz
+    python tools/diffcheck.py --repro 42:3              # replay one case
+    python tools/diffcheck.py --seed 42 --n 50 --out d/ # write failure reports
+
+Every mismatch report carries the case id (``schema_seed:query_index``),
+the SQL text, and the EXPLAIN of every configuration's plan; rerun the
+exact case with ``--repro <case_id>``.  Exit status is nonzero when any
+mismatch (or execution error) is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.testcheck.oracle import (  # noqa: E402
+    DiffReport,
+    DifferentialRunner,
+    parse_case_id,
+)
+
+
+def _write_reports(out_dir: Path, report: DiffReport) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for i, mismatch in enumerate(report.mismatches):
+        name = mismatch.case_id.replace(":", "_")
+        path = out_dir / f"mismatch_{i:03d}_case_{name}.txt"
+        path.write_text(mismatch.describe() + "\n", encoding="utf-8")
+        print(f"diffcheck: wrote {path}", file=sys.stderr)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42,
+                        help="base seed for schema/query generation (default 42)")
+    parser.add_argument("--n", type=int, default=50,
+                        help="number of queries to check (default 50)")
+    parser.add_argument("--repro", metavar="CASE_ID", default=None,
+                        help="replay one case id (schema_seed:query_index) "
+                             "from a failure report")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="write one report file per mismatch into DIR")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-schema progress output")
+    args = parser.parse_args()
+
+    started = time.perf_counter()
+    report = DiffReport()
+    if args.repro is not None:
+        schema_seed, query_index = parse_case_id(args.repro)
+        runner = DifferentialRunner(seed=schema_seed)
+        mismatch = runner.run_case(schema_seed, query_index)
+        report.cases_run = 1
+        if mismatch is not None:
+            report.mismatches.append(mismatch)
+    else:
+        runner = DifferentialRunner(seed=args.seed)
+
+        def progress(schema_seed: int, partial: DiffReport) -> None:
+            if not args.quiet:
+                print(
+                    f"diffcheck: schema seed {schema_seed} done — "
+                    f"{partial.cases_run}/{args.n} cases, "
+                    f"{len(partial.mismatches)} mismatch(es)",
+                    file=sys.stderr,
+                )
+
+        report = runner.run(args.n, progress=progress)
+
+    elapsed = time.perf_counter() - started
+    if report.ok:
+        print(f"diffcheck: OK — {report.cases_run} case(s), "
+              f"0 mismatches ({elapsed:.1f}s)")
+        return 0
+
+    print(report.describe(), file=sys.stderr)
+    if args.out:
+        _write_reports(Path(args.out), report)
+    print(
+        f"diffcheck: FAILED — {len(report.mismatches)} mismatch(es) in "
+        f"{report.cases_run} case(s) ({elapsed:.1f}s)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

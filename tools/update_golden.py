@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regenerate or verify the golden-plan snapshot corpus.
+
+Usage::
+
+    python tools/update_golden.py            # rewrite tests/golden/*.txt
+    python tools/update_golden.py --check    # CI: fail on any plan drift
+    python tools/update_golden.py --check --case fig4_remote_join
+
+``--check`` recomputes every canonical plan, compares it to the
+checked-in snapshot, and prints a unified diff per regressed case.
+Regenerating is a deliberate act: review the diff, convince yourself
+the plan change is intended, then rerun without ``--check`` and commit
+the new snapshots alongside the optimizer change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.testcheck.golden import (  # noqa: E402
+    GOLDEN_CASES,
+    compute_golden,
+    load_snapshot,
+    plan_diff,
+    snapshot_path,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="verify snapshots instead of rewriting them")
+    parser.add_argument("--case", action="append", default=None,
+                        choices=sorted(GOLDEN_CASES),
+                        help="limit to specific case(s)")
+    args = parser.parse_args()
+
+    names = args.case or sorted(GOLDEN_CASES)
+    failures = 0
+    for name in names:
+        actual = compute_golden(name)
+        path = snapshot_path(name)
+        if args.check:
+            if not path.exists():
+                print(f"golden: MISSING {path} — run tools/update_golden.py",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            expected = load_snapshot(name)
+            if expected != actual:
+                print(f"golden: PLAN CHANGED for {name}:", file=sys.stderr)
+                print(plan_diff(name, expected, actual), file=sys.stderr)
+                failures += 1
+            else:
+                print(f"golden: {name} OK")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual, encoding="utf-8")
+            print(f"golden: wrote {path} ({len(actual.splitlines())} lines)")
+    if failures:
+        print(
+            f"golden: {failures} case(s) drifted; if intended, regenerate "
+            "with `python tools/update_golden.py` and commit the diff",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
