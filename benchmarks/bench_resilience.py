@@ -6,15 +6,23 @@ A distributed partitioned view stays *answerable* when members fail:
   that grows with the fault rate;
 * a hard-down member removes only the queries that must touch it —
   static pruning plus delayed schema validation (Section 4.1.5) keeps
-  every other partition's queries alive.
+  every other partition's queries alive;
+* ``SET PARTIAL_RESULTS ON`` trades completeness for availability —
+  federation-wide queries that fail-stop mode loses entirely come back
+  as partial answers from the live members;
+* an open circuit breaker stops re-paying retry/backoff for a member
+  already known dead: wasted retry time collapses to near zero.
 
 The sweep drives single-partition point queries against a 4-member
 federation while the per-message transient-fault rate rises 0 → 50%,
 then measures answer availability with one member hard-down.  Set
-``BENCH_SMOKE=1`` to run a reduced sweep (CI).
+``BENCH_SMOKE=1`` to run a reduced sweep (CI).  Results accumulate in
+``BENCH_resilience.json`` at the repo root.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -26,7 +34,26 @@ SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 MEMBERS = 4
 QUERIES = 20 if SMOKE else 80
 FAULT_RATES = (0.0, 0.10, 0.50) if SMOKE else (0.0, 0.10, 0.25, 0.50)
+DOWN_COUNTS = (0, 1) if SMOKE else (0, 1, 2)
 BASE_YEAR = 1992
+
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_resilience.json"
+
+#: per-test results, flushed to ``BENCH_resilience.json`` as they land
+_RESULTS: dict = {}
+
+
+def _record(section: str, payload) -> None:
+    _RESULTS[section] = payload
+    _RESULTS["meta"] = {
+        "members": MEMBERS,
+        "queries_per_cell": QUERIES,
+        "smoke": SMOKE,
+    }
+    JSON_PATH.write_text(
+        json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def build_resilience_federation(latency_ms: float = 1.0):
@@ -128,6 +155,9 @@ def test_availability_under_transient_faults(benchmark):
     assert by_rate[0.10]["retries"] > 0
     # latency degrades monotonically-ish with the fault rate
     assert by_rate[0.50]["ms_per_query"] > by_rate[0.0]["ms_per_query"]
+    _record(
+        "transient_sweep", {f"{rate:.2f}": s for rate, s in by_rate.items()}
+    )
 
 
 def test_availability_with_member_down(benchmark):
@@ -159,6 +189,161 @@ def test_availability_with_member_down(benchmark):
     )
     # pruning keeps exactly the other members' partitions answerable
     assert answered == expected
+    _record(
+        "member_down_point_queries",
+        {"queries": QUERIES, "answered": answered, "expected": expected},
+    )
+
+
+def test_failstop_vs_degraded_availability(benchmark):
+    """The tentpole trade: fail-stop loses every federation-wide query
+    once any member dies; ``SET PARTIAL_RESULTS ON`` answers all of
+    them from the live partitions, stamped incomplete."""
+
+    def sweep_cell(down_count: int, partial: bool):
+        engine = build_resilience_federation()
+        channels = _channels(engine)
+        for i in range(down_count):
+            channels[MEMBERS - 1 - i].fault_injector = FaultInjector(
+                down=True
+            )
+        if partial:
+            engine.execute("SET PARTIAL_RESULTS ON")
+        answered = rows_seen = partials = replans = 0
+        simulated_ms = 0.0
+        for __ in range(QUERIES):
+            before = sum(c.stats.simulated_ms for c in channels)
+            try:
+                result = engine.execute("SELECT * FROM li")
+                answered += 1
+                rows_seen += len(result.rows)
+                partials += 1 if result.is_partial else 0
+                replans += result.replans
+            except NetworkError:
+                pass
+            simulated_ms += (
+                sum(c.stats.simulated_ms for c in channels) - before
+            )
+        total_rows = QUERIES * MEMBERS * 8
+        return {
+            "availability": answered / QUERIES,
+            "rows_fraction": rows_seen / total_rows,
+            "partial_fraction": partials / QUERIES,
+            "replans": replans,
+            "ms_per_query": simulated_ms / QUERIES,
+        }
+
+    cells = {}
+    rows = []
+    for down_count in DOWN_COUNTS:
+        for mode in ("fail_stop", "partial"):
+            stats = sweep_cell(down_count, partial=(mode == "partial"))
+            cells[f"{down_count}_down/{mode}"] = stats
+            rows.append(
+                (
+                    down_count,
+                    mode,
+                    f"{stats['availability']:.1%}",
+                    f"{stats['rows_fraction']:.1%}",
+                    f"{stats['partial_fraction']:.1%}",
+                    stats["replans"],
+                    f"{stats['ms_per_query']:.2f}ms",
+                )
+            )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "E15: fail-stop vs degraded mode, federation-wide queries "
+        f"({MEMBERS} members, {QUERIES} queries/cell)",
+        ["down", "mode", "availability", "rows seen", "partial",
+         "replans", "sim-ms/query"],
+        rows,
+    )
+    # no failures: identical, complete answers in both modes
+    assert cells["0_down/fail_stop"]["availability"] == 1.0
+    assert cells["0_down/partial"]["availability"] == 1.0
+    assert cells["0_down/partial"]["partial_fraction"] == 0.0
+    # one member down: fail-stop loses everything that touches it
+    # (every federation-wide query), degraded mode answers them all
+    # from the surviving partitions
+    assert cells["1_down/fail_stop"]["availability"] == 0.0
+    assert cells["1_down/partial"]["availability"] == 1.0
+    assert cells["1_down/partial"]["partial_fraction"] == 1.0
+    expected_rows = (MEMBERS - 1) / MEMBERS
+    assert cells["1_down/partial"]["rows_fraction"] == expected_rows
+    # the first statement discovers the death mid-query and replans;
+    # most later statements pre-prune on the open breaker, with a
+    # periodic probe-due statement re-admitting (and re-degrading via
+    # replan) the dead member so recovery stays possible
+    assert 1 <= cells["1_down/partial"]["replans"] < QUERIES // 2
+    _record("failstop_vs_degraded", cells)
+
+
+def test_breaker_cuts_wasted_retry_time(benchmark):
+    """An open breaker stops re-spending retry/backoff on a member
+    already known unhealthy — the per-query wasted time collapses.
+
+    A *hung* member is the expensive failure: a hard-down one is
+    refused instantly and free, but every attempt against a hung one
+    waits out the full timeout and then backs off before retrying.
+    The amnesiac baseline (breaker state wiped before each statement)
+    re-pays that in full, every time."""
+    engine = build_resilience_federation()
+    down_year = BASE_YEAR + MEMBERS - 1
+    down_channel = engine.linked_server(f"srv{down_year}").channel
+    down_channel.timeout_ms = 25.0
+    down_channel.fault_injector = FaultInjector(timeout_rate=1.0)
+    sweep_n = QUERIES // 2
+
+    def wasted_ms_per_query(breaker_enabled: bool) -> float:
+        engine.health.reset()
+        total = 0.0
+        for __ in range(sweep_n):
+            if not breaker_enabled:
+                # amnesiac baseline: forget the trip before every
+                # statement, so each one re-pays full retry/backoff
+                engine.health.reset()
+            before = (
+                down_channel.stats.simulated_ms
+                + down_channel.stats.backoff_ms
+            )
+            try:
+                engine.execute(f"SELECT * FROM li WHERE y = {down_year}")
+            except NetworkError:
+                pass
+            total += (
+                down_channel.stats.simulated_ms
+                + down_channel.stats.backoff_ms
+                - before
+            )
+        return total / sweep_n
+
+    without = wasted_ms_per_query(breaker_enabled=False)
+    with_breaker = wasted_ms_per_query(breaker_enabled=True)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    trips = engine.metrics.value_of("health.breaker_trips")
+    fast_fails = engine.metrics.value_of("health.fast_fails")
+    print_table(
+        "E15: wasted retry time per query against a dead member "
+        f"({sweep_n} queries)",
+        ["breaker", "wasted ms/query", "trips", "fast-fails"],
+        [
+            ("off (amnesiac)", f"{without:.2f}ms", "-", "-"),
+            ("on", f"{with_breaker:.2f}ms", int(trips), int(fast_fails)),
+        ],
+    )
+    assert fast_fails > 0
+    # "measurably reduces": at least half the wasted time disappears
+    # (in practice nearly all of it, minus the periodic half-open probe)
+    assert with_breaker < without * 0.5
+    _record(
+        "breaker_retry_savings",
+        {
+            "queries": sweep_n,
+            "wasted_ms_per_query_no_breaker": without,
+            "wasted_ms_per_query_with_breaker": with_breaker,
+            "fast_fails": fast_fails,
+        },
+    )
 
 
 def test_retry_latency_cost(benchmark):

@@ -44,6 +44,8 @@ class CostModel:
         spool_rescan_row_ms: float = 0.0003,
         remote_cpu_discount: float = 0.5,
         remote_fixed_ms: float = 1.0,
+        health_open_penalty_ms: float = 500.0,
+        health_half_open_penalty_ms: float = 25.0,
     ):
         self.cpu_row_ms = cpu_row_ms
         self.hash_build_row_ms = hash_build_row_ms
@@ -55,6 +57,11 @@ class CostModel:
         #: a mild discount keeps pathological remote plans from winning
         self.remote_cpu_discount = remote_cpu_discount
         self.remote_fixed_ms = remote_fixed_ms
+        #: surcharge on any remote access to a member whose circuit
+        #: breaker is open (expected fast-fail + replan) or half-open
+        #: (a probe may still fail); closed members cost nothing extra
+        self.health_open_penalty_ms = health_open_penalty_ms
+        self.health_half_open_penalty_ms = health_half_open_penalty_ms
 
     # -- local operators ------------------------------------------------------
     def scan(self, rows: float) -> float:
@@ -102,6 +109,15 @@ class CostModel:
 
     def fulltext_lookup(self, match_estimate: float) -> float:
         return 0.5 + match_estimate * self.cpu_row_ms
+
+    def health_penalty(self, state: str) -> float:
+        """Extra cost for touching a member in breaker state ``state``
+        (one of the ``repro.resilience.health`` state constants)."""
+        if state == "open":
+            return self.health_open_penalty_ms
+        if state == "half_open":
+            return self.health_half_open_penalty_ms
+        return 0.0
 
     # -- remote operators (Section 4.1.3) ---------------------------------------
     def remote_transfer(

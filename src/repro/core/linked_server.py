@@ -17,6 +17,8 @@ from typing import Dict, Optional
 
 from repro.errors import (
     CatalogError,
+    CircuitOpenError,
+    NetworkError,
     NotSupportedError,
     ProviderError,
     SchemaValidationError,
@@ -131,19 +133,71 @@ class LinkedServer:
         self._table_cache: Dict[str, RemoteTableInfo] = {}
         #: retry/backoff policy for every remote operation on this server
         self.retry_policy = retry_policy or RetryPolicy()
+        #: the owning engine's HealthRegistry (set at registration);
+        #: None means no breaker gating (standalone LinkedServer use)
+        self.health = None
 
     # -- plumbing ---------------------------------------------------------
+    @property
+    def breaker(self):
+        """This server's circuit breaker, or None when no registry is
+        attached."""
+        if self.health is None:
+            return None
+        return self.health.breaker(self.name)
+
     def run_with_retry(self, fn, description: str = ""):
-        """Run one remote operation under this server's retry policy.
+        """Run one remote operation under this server's retry policy,
+        gated by the server's circuit breaker when a HealthRegistry is
+        attached.
 
         Transient faults back off (simulated ms charged to the channel)
         and retry; timeouts retry when the policy allows; server-down
-        and exhausted retries propagate as typed errors.
+        and exhausted retries propagate as typed errors.  The breaker
+        sees only *final* outcomes: a retried-then-masked fault records
+        a success, retries exhausted or server-down records a failure
+        (down trips the breaker immediately), and an already-open
+        breaker fails fast with :class:`CircuitOpenError` before any
+        attempt — a flapping member stops eating retry budget.
+
+        Breaker evidence is asymmetric: any failure counts, but a
+        success only counts when the call produced actual channel
+        traffic.  Free metadata checks (schema rowsets charge no round
+        trips) can prove a member sick, not healthy — otherwise a hung
+        member whose pings still answer would reset the failure streak
+        every statement and the breaker could never trip.
         """
-        return call_with_retry(
-            self.retry_policy, self.channel, fn,
-            description=description or self.name,
+        breaker = self.breaker
+        description = description or self.name
+        if breaker is not None:
+            breaker.before_attempt(self.channel, description)
+        trips_before = (
+            self.channel.stats.round_trips
+            if self.channel is not None
+            else None
         )
+        try:
+            result = call_with_retry(
+                self.retry_policy, self.channel, fn, description=description
+            )
+        except NetworkError as error:
+            if getattr(error, "server_name", None) is None:
+                error.server_name = self.name
+            if breaker is not None and not isinstance(error, CircuitOpenError):
+                breaker.record_failure(
+                    error,
+                    self.channel,
+                    definitive=isinstance(error, ServerUnavailableError),
+                )
+            raise
+        if breaker is not None:
+            trafficked = (
+                trips_before is None
+                or self.channel.stats.round_trips != trips_before
+            )
+            if trafficked:
+                breaker.record_success(self.channel)
+        return result
 
     def execute_command(self, sql_text: str, session: Optional[Session] = None):
         """Dispatch a SQL command to the remote server with retries.

@@ -206,6 +206,28 @@ class Optimizer:
         #: optional QueryTrace receiving rule_fired events; the engine
         #: sets this around optimize() when tracing is enabled
         self.trace: Optional[Any] = None
+        #: optional HealthRegistry consulted during costing; an open
+        #: breaker disqualifies deep pushdown and penalizes remote
+        #: access so plans route around unhealthy members
+        self.health: Optional[Any] = None
+
+    def normalize_options(self) -> NormalizeOptions:
+        """The normalization configuration this optimizer runs under —
+        also used by the engine to pre-normalize a tree (so static
+        pruning fires) before partial-results branch dropping."""
+        return NormalizeOptions(
+            static_pruning=self.options.enable_static_pruning,
+            startup_filters=self.options.enable_startup_filters,
+            partial_aggregation=self.options.enable_partial_aggregation,
+        )
+
+    def _health_state(self, server_name: Optional[str]) -> str:
+        if self.health is None or server_name is None:
+            return "closed"
+        return self.health.state_of(server_name)
+
+    def _health_penalty(self, server_name: Optional[str]) -> float:
+        return self.cost_model.health_penalty(self._health_state(server_name))
 
     def linked_server(self, name: str) -> Optional[Any]:
         return self._linked_servers.get(name.lower())
@@ -218,14 +240,7 @@ class Optimizer:
     # ==================================================================
     def optimize(self, root: LogicalOp) -> OptimizationResult:
         started = time.perf_counter()
-        root = normalize(
-            root,
-            NormalizeOptions(
-                static_pruning=self.options.enable_static_pruning,
-                startup_filters=self.options.enable_startup_filters,
-                partial_aggregation=self.options.enable_partial_aggregation,
-            ),
-        )
+        root = normalize(root, self.normalize_options())
         memo = Memo()
         root_group = memo.insert_tree(root)
         context = RuleContext(memo, self)
@@ -478,9 +493,14 @@ class Optimizer:
             scan = P.RemoteScan(table)
             scan.est_rows = props.cardinality
             channel = server.channel if server is not None else None
-            scan.cost = self.cost_model.remote_transfer(
-                channel, props.cardinality, props.row_width
-            ) + self.cost_model.scan(props.cardinality) * self.cost_model.remote_cpu_discount
+            scan.cost = (
+                self.cost_model.remote_transfer(
+                    channel, props.cardinality, props.row_width
+                )
+                + self.cost_model.scan(props.cardinality)
+                * self.cost_model.remote_cpu_discount
+                + self._health_penalty(table.server)
+            )
             out.append(scan)
         return out
 
@@ -591,6 +611,7 @@ class Optimizer:
                         channel, selected, props.row_width + 8
                     )
                     + channel.latency_ms  # separate bookmark-fetch trip
+                    + self._health_penalty(table.server)
                 )
             else:
                 from repro.types.intervals import IntervalSet
@@ -801,6 +822,10 @@ class Optimizer:
             or not server.capabilities.can_remote(Operation.PARAMETER)
         ):
             return None
+        # an open breaker means every probe would fast-fail: don't even
+        # offer the parameterized alternative
+        if self._health_state(server_name) == "open":
+            return None
         try:
             right_tree = extract_logical_tree(right_group)
             probe_conjuncts: list[ScalarExpr] = []
@@ -858,7 +883,11 @@ class Optimizer:
         else:
             probe_count = left_rows
         node.est_rows = props.cardinality
-        node.cost = left_plan.cost + probe_count * inner.cost
+        node.cost = (
+            left_plan.cost
+            + probe_count * inner.cost
+            + self._health_penalty(server_name)
+        )
         return node
 
     def _implement_aggregate(
@@ -904,6 +933,15 @@ class Optimizer:
         # trivial Gets gain nothing from a remote query over a RemoteScan
         if len(group.expressions) == 1 and isinstance(group.expressions[0].op, Get):
             return None
+        # open breaker: disqualify deep pushdown entirely — the engine
+        # degrades to fetch-and-filter (RemoteScan + local operators),
+        # which survives a replan or partial-results pruning
+        if self._health_state(server_name) == "open":
+            if self.trace is not None:
+                self.trace.event(
+                    "health_pushdown_disqualified", server=server_name
+                )
+            return None
         try:
             decoded = Decoder(capabilities, server_name).decode_group(group)
         except DecoderError:
@@ -922,7 +960,7 @@ class Optimizer:
             group.properties.cardinality,
             group.properties.row_width,
             remote_work,
-        )
+        ) + self._health_penalty(server_name)
         return node
 
     # ------------------------------------------------------------------

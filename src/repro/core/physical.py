@@ -399,6 +399,21 @@ class Spool(PhysicalOp):
     def rescan_cost(self) -> float:
         return self.rescan_cost_value
 
+    def cache_key(self):
+        """Identity of the spooled data, stable across re-optimization.
+
+        Remote children key on (server, query text / table) so a replan
+        after a mid-query failure can reuse rows already spooled from a
+        member that has since gone down.  Anything else keys on object
+        identity, which never matches across plans — a safe default.
+        """
+        child = self.child
+        if isinstance(child, RemoteQuery):
+            return ("spool", child.server.name, child.sql_text)
+        if isinstance(child, RemoteScan):
+            return ("spool-scan", child.table.server, child.table.qualified_name)
+        return id(self)
+
     def __repr__(self) -> str:
         return f"Spool[{self.reason}](rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 

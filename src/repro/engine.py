@@ -30,8 +30,14 @@ from repro.core.cost import CostModel
 from repro.core.linked_server import LinkedServer
 from repro.core.optimizer import OptimizationResult, Optimizer, OptimizerOptions
 from repro.core.physical import PhysicalOp
+from repro.core.rules.normalization import normalize
 from repro.dtc.coordinator import TransactionCoordinator
-from repro.errors import BindError, ExecutionError, SqlError
+from repro.errors import (
+    BindError,
+    ExecutionError,
+    ServerUnavailableError,
+    SqlError,
+)
 from repro.execution.context import ExecutionContext
 from repro.execution.executor import execute_plan
 from repro.fulltext.service import FullTextService
@@ -43,6 +49,13 @@ from repro.observability.views import QueryStatsEntry, system_view
 from repro.oledb.datasource import DataSource
 from repro.oledb.rowset import MaterializedRowset, Rowset
 from repro.providers.sqlserver import SqlServerDataSource
+from repro.resilience.degrade import (
+    PartialResultsInfo,
+    SkippedPartition,
+    prune_unavailable_branches,
+    pv_member_tables,
+)
+from repro.resilience.health import HealthRegistry
 from repro.resilience.retry import QueryBudget, RetryPolicy
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundQuery, FullTextBinding
@@ -80,10 +93,20 @@ class QueryResult:
         self.trace: Optional[QueryTrace] = None
         #: per-linked-server network attribution for this statement:
         #: {server_name: {bytes_sent, bytes_received, round_trips,
-        #: simulated_ms}} — only servers with nonzero traffic appear
+        #: simulated_ms, retries, backoff_ms, breaker_trips,
+        #: breaker_fast_fails}} — only servers with activity appear
         self.network: Dict[str, Dict[str, float]] = {}
         #: wall-clock time for the whole statement
         self.elapsed_ms: float = 0.0
+        #: incomplete-result metadata when PARTIAL_RESULTS degraded the
+        #: answer; None means the result is complete
+        self.partial: Optional[PartialResultsInfo] = None
+        #: bounded mid-query re-optimizations taken after a member died
+        self.replans: int = 0
+
+    @property
+    def is_partial(self) -> bool:
+        return self.partial is not None and self.partial.is_partial
 
     def scalar(self) -> Any:
         """First column of the first row (aggregate shortcuts)."""
@@ -104,6 +127,10 @@ class QueryResult:
         }
         if self.network:
             payload["network"] = self.network
+        if self.is_partial:
+            payload["partial"] = self.partial.as_dict()
+        if self.replans:
+            payload["replans"] = self.replans
         if self.profile is not None and self.plan is not None:
             payload["profile"] = self.profile.as_rows(self.plan)
         if self.trace is not None:
@@ -159,6 +186,20 @@ class ServerInstance:
         #: when set, every statement gets a QueryBudget and remote
         #: traffic beyond it raises RemoteTimeoutError
         self.query_timeout_ms: Optional[float] = None
+        #: per-linked-server circuit breakers on a simulated clock; the
+        #: clock ticks once per statement so open breakers admit a
+        #: half-open probe after a few statements rather than never
+        self.health = HealthRegistry(name)
+        self.optimizer.health = self.health
+        #: SET PARTIAL_RESULTS ON flips this: partitioned-view queries
+        #: answer from reachable members and mark the result partial;
+        #: OFF (default) keeps fail-stop semantics.  DML is always
+        #: fail-stop/atomic regardless.
+        self.partial_results = False
+        #: one bounded re-optimize-and-replan after a mid-query
+        #: ServerUnavailableError (the member's breaker has tripped by
+        #: then, so the second plan routes around it)
+        self.replan_on_failure = True
 
     # ==================================================================
     # linked servers & providers
@@ -193,6 +234,9 @@ class ServerInstance:
         # fault/retry/timeout counters from this server's channel land
         # in the engine's registry (sys.dm_os_performance_counters)
         datasource.channel.metrics = self.metrics
+        # every remote operation on this server is now gated by the
+        # engine's circuit breaker for it
+        server.health = self.health
         self.linked_servers[name.lower()] = server
         self.optimizer.register_linked_server(server)
         return server
@@ -415,6 +459,9 @@ class ServerInstance:
         )
         started = time.perf_counter()
         before = self._network_snapshot()
+        # advance the health clock: open breakers measure their
+        # re-probe interval in statements, not wall time
+        self.health.tick()
         restore = self._attach_statement_scope(trace, budget)
         try:
             if trace is not None:
@@ -496,7 +543,18 @@ class ServerInstance:
             database, schema_name, table_name = self._table_target(stmt.table)
             database.drop_table(table_name, schema_name)
             return QueryResult([], [], rowcount=0)
+        if isinstance(stmt, ast.SetStmt):
+            return self._execute_set(stmt)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_set(self, stmt: ast.SetStmt) -> QueryResult:
+        if stmt.option == "partial_results":
+            self.partial_results = stmt.value
+            self.metrics.set_gauge(
+                "engine.partial_results", 1.0 if stmt.value else 0.0
+            )
+            return QueryResult([], [], rowcount=0)
+        raise SqlError(f"unknown SET option {stmt.option.upper()!r}")
 
     def _execute_explain(
         self,
@@ -573,19 +631,75 @@ class ServerInstance:
         bound = Binder(self).bind_select(stmt)
         return self.optimizer.optimize(bound.root)
 
+    def _partial_route_around(self, allow_probes: bool):
+        """Pruning predicate for partial-results planning.
+
+        The initial plan admits at most ONE probe-due open breaker (so
+        half-open probes keep running and a recovered member is folded
+        back in), routing around every other open breaker.  The replan
+        pass admits none — it must route around everything open, or a
+        second synchronized probe window would burn the single replan
+        and fail the statement.
+        """
+        if not allow_probes:
+            return self.health.is_open
+        probing: list[str] = []
+
+        def route_around(server_name: str) -> bool:
+            if self.health.should_route_around(server_name):
+                return True
+            if self.health.is_open(server_name):  # probe-due
+                if probing and server_name not in probing:
+                    return True  # one probe per statement
+                probing.append(server_name)
+            return False
+
+        return route_around
+
+    def _plan_select(
+        self,
+        stmt: ast.SelectStmt,
+        trace: Optional[QueryTrace],
+        allow_probes: bool = True,
+    ) -> tuple[BoundQuery, OptimizationResult, list[SkippedPartition]]:
+        """Bind, optionally prune unreachable PV members, optimize."""
+        if trace is not None:
+            with trace.span("bind"):
+                bound = Binder(self).bind_select(stmt)
+        else:
+            bound = Binder(self).bind_select(stmt)
+        root = bound.root
+        skipped: list[SkippedPartition] = []
+        if self.partial_results:
+            # remember which remote tables are PV members while the
+            # unions are still intact, then normalize so static pruning
+            # drops branches the predicates contradict — a query routed
+            # entirely to live members must not be stamped partial,
+            # while one collapsed onto a dead member degrades to empty
+            members = pv_member_tables(root)
+            root = normalize(root, self.optimizer.normalize_options())
+            root, skipped = prune_unavailable_branches(
+                root,
+                self._partial_route_around(allow_probes),
+                pv_members=members,
+            )
+            if skipped and trace is not None:
+                trace.event(
+                    "partial_results_prune",
+                    skipped=[s.as_dict() for s in skipped],
+                )
+        optimization = self._optimize_traced(root, trace)
+        return bound, optimization, skipped
+
     def _execute_select(
         self,
         stmt: ast.SelectStmt,
         params: Optional[Dict[str, Any]],
         trace: Optional[QueryTrace] = None,
     ) -> QueryResult:
-        if trace is not None:
-            with trace.span("bind"):
-                bound = Binder(self).bind_select(stmt)
-        else:
-            bound = Binder(self).bind_select(stmt)
-        optimization = self._optimize_traced(bound.root, trace)
+        bound, optimization, skipped = self._plan_select(stmt, trace)
         profiler = PlanProfiler() if self.profiling_enabled else None
+        replans = 0
         ctx = ExecutionContext(
             params,
             subquery_executor=self._run_subquery,
@@ -593,17 +707,53 @@ class ServerInstance:
             metrics=self.metrics,
             trace=trace,
         )
-        if trace is not None:
-            with trace.span("execute"):
+        try:
+            if trace is not None:
+                with trace.span("execute"):
+                    rows = execute_plan(optimization.plan, ctx)
+            else:
                 rows = execute_plan(optimization.plan, ctx)
-        else:
-            rows = execute_plan(optimization.plan, ctx)
+        except ServerUnavailableError as error:
+            if not self.replan_on_failure:
+                raise
+            # one bounded replan: the dead member's breaker tripped
+            # inside run_with_retry, so re-optimization now routes
+            # around it (and partial mode prunes its PV branches);
+            # already-spooled remote results carry over via the shared
+            # spool cache.  A second failure propagates fail-stop.
+            replans = 1
+            self.metrics.increment("engine.replans")
+            if trace is not None:
+                trace.event(
+                    "replan",
+                    server=getattr(error, "server_name", None),
+                    error=f"{type(error).__name__}: {error}",
+                )
+            bound, optimization, skipped = self._plan_select(
+                stmt, trace, allow_probes=False
+            )
+            ctx = ExecutionContext(
+                params,
+                subquery_executor=self._run_subquery,
+                profiler=profiler,
+                metrics=self.metrics,
+                trace=trace,
+                spool_cache=ctx.spool_cache,
+            )
+            if trace is not None:
+                with trace.span("execute"):
+                    rows = execute_plan(optimization.plan, ctx)
+            else:
+                rows = execute_plan(optimization.plan, ctx)
         # align plan output order with the bound output defs
         rows = _reorder_output(rows, optimization.plan, bound)
         result = QueryResult(
             rows, bound.output_names, optimization.plan, optimization, ctx
         )
         result.profile = profiler
+        result.replans = replans
+        if skipped:
+            result.partial = PartialResultsInfo(skipped)
         return result
 
     def _run_subquery(self, root: LogicalOp) -> list[tuple]:

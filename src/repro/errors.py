@@ -105,6 +105,13 @@ class ServerUnavailableError(NetworkError):
     statement will not help."""
 
 
+class CircuitOpenError(ServerUnavailableError):
+    """A linked server's circuit breaker is open: the operation was
+    rejected *without* touching the network.  Subclasses
+    :class:`ServerUnavailableError` so every unavailability handler
+    (pruning, partial results, fail-stop DML) treats it identically."""
+
+
 class TransactionError(ReproError):
     """Base class for transaction failures."""
 

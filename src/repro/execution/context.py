@@ -31,6 +31,7 @@ class ExecutionContext:
         profiler: Optional["PlanProfiler"] = None,
         metrics: Optional["MetricsRegistry"] = None,
         trace: Optional["QueryTrace"] = None,
+        spool_cache: Optional[Dict[Any, list]] = None,
     ):
         #: @parameter values for this execution
         self.params = dict(params or {})
@@ -38,8 +39,12 @@ class ExecutionContext:
         self.subquery_executor = subquery_executor
         #: delayed schema validation switch (Section 4.1.5)
         self.validate_schemas = validate_schemas
-        #: per-execution spool materializations (plan-node id -> rows)
-        self.spool_cache: Dict[int, list] = {}
+        #: per-execution spool materializations (Spool.cache_key() ->
+        #: rows); an existing cache may be handed in so a bounded
+        #: replan reuses results already spooled before a failure
+        self.spool_cache: Dict[Any, list] = (
+            spool_cache if spool_cache is not None else {}
+        )
         #: observability recorders (all optional; None = off)
         self.profiler = profiler
         self.metrics = metrics

@@ -162,7 +162,9 @@ def _run_sort(plan: P.PhysicalSort, ctx: ExecutionContext) -> Iterator[Row]:
 
 
 def _run_spool(plan: P.Spool, ctx: ExecutionContext) -> Iterator[Row]:
-    cache_key = id(plan)
+    # stable key (not id(plan)) so a bounded replan after a mid-query
+    # failure can reuse rows already spooled from a now-down member
+    cache_key = plan.cache_key()
     if cache_key not in ctx.spool_cache:
         ctx.spool_cache[cache_key] = list(open_plan(plan.child, ctx))
     else:

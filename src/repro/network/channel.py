@@ -37,21 +37,38 @@ DEFAULT_BATCH_ROWS = 128
 
 
 class NetworkStats:
-    """Running totals for one channel (or an aggregate of channels)."""
+    """Running totals for one channel (or an aggregate of channels).
 
-    __slots__ = ("bytes_sent", "bytes_received", "round_trips", "simulated_ms")
+    Besides raw traffic, the stats carry resilience outcomes — retry
+    attempts, backoff time, breaker trips and breaker fast-fails — so a
+    per-statement snapshot/delta (``QueryResult.network``) attributes
+    them to the statement that paid for them, not just the aggregate
+    ``network.*`` counters.
+    """
+
+    __slots__ = (
+        "bytes_sent",
+        "bytes_received",
+        "round_trips",
+        "simulated_ms",
+        "retries",
+        "backoff_ms",
+        "breaker_trips",
+        "breaker_fast_fails",
+    )
 
     def __init__(self) -> None:
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.round_trips = 0
-        self.simulated_ms = 0.0
+        self.reset()
 
     def reset(self) -> None:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.round_trips = 0
         self.simulated_ms = 0.0
+        self.retries = 0
+        self.backoff_ms = 0.0
+        self.breaker_trips = 0
+        self.breaker_fast_fails = 0
 
     @property
     def total_bytes(self) -> int:
@@ -62,6 +79,10 @@ class NetworkStats:
         self.bytes_received += other.bytes_received
         self.round_trips += other.round_trips
         self.simulated_ms += other.simulated_ms
+        self.retries += other.retries
+        self.backoff_ms += other.backoff_ms
+        self.breaker_trips += other.breaker_trips
+        self.breaker_fast_fails += other.breaker_fast_fails
 
     def snapshot(self) -> dict[str, float]:
         return {
@@ -69,16 +90,19 @@ class NetworkStats:
             "bytes_received": self.bytes_received,
             "round_trips": self.round_trips,
             "simulated_ms": self.simulated_ms,
+            "retries": self.retries,
+            "backoff_ms": self.backoff_ms,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fast_fails": self.breaker_fast_fails,
         }
 
     def delta(self, before: dict[str, float]) -> dict[str, float]:
         """Difference against an earlier :meth:`snapshot` — the traffic
         attributable to whatever ran between the two points."""
+        current = self.snapshot()
         return {
-            "bytes_sent": self.bytes_sent - before["bytes_sent"],
-            "bytes_received": self.bytes_received - before["bytes_received"],
-            "round_trips": self.round_trips - before["round_trips"],
-            "simulated_ms": self.simulated_ms - before["simulated_ms"],
+            key: current[key] - before.get(key, 0)
+            for key in current
         }
 
     def __repr__(self) -> str:
@@ -223,6 +247,8 @@ class NetworkChannel:
     ) -> None:
         """Account one retry: simulated backoff time + counters."""
         self._charge_ms(backoff_ms)
+        self.stats.retries += 1
+        self.stats.backoff_ms += backoff_ms
         self._count("network.retries")
         self._count("network.backoff_ms", backoff_ms)
         self._trace_event(

@@ -142,10 +142,49 @@ def _dm_os_performance_counters(engine: Any) -> tuple[Columns, list[tuple]]:
     return columns, engine.metrics.rows()
 
 
+def _dm_server_health(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per linked server with its circuit-breaker state."""
+    columns: Columns = [
+        ("server_name", varchar(128)),
+        ("state", varchar(16)),
+        ("consecutive_failures", INT),
+        ("trips", INT),
+        ("fast_fails", BIGINT),
+        ("probes", BIGINT),
+        ("opened_at_ms", FLOAT),
+        ("next_probe_at_ms", FLOAT),
+        ("last_failure", varchar()),
+    ]
+    rows: list[tuple] = []
+    health = getattr(engine, "health", None)
+    for server in engine.linked_servers.values():
+        breaker = health.get(server.name) if health is not None else None
+        if breaker is None:
+            rows.append(
+                (server.name, "closed", 0, 0, 0, 0, None, None, None)
+            )
+            continue
+        rows.append(
+            (
+                server.name,
+                breaker.state,
+                breaker.consecutive_failures,
+                breaker.trip_count,
+                breaker.fast_fails,
+                breaker.probe_count,
+                breaker.opened_at_ms,
+                breaker.next_probe_at_ms,
+                breaker.last_failure,
+            )
+        )
+    return columns, rows
+
+
 _VIEWS = {
     "dm_exec_connections": _dm_exec_connections,
     "dm_exec_query_stats": _dm_exec_query_stats,
     "dm_os_performance_counters": _dm_os_performance_counters,
+    "dm_server_health": _dm_server_health,
 }
 
 

@@ -18,12 +18,26 @@ The failure taxonomy and its exact semantics live in
 ``docs/FAULT_MODEL.md``.
 """
 
+from repro.resilience.degrade import (
+    PartialResultsInfo,
+    SkippedPartition,
+    prune_unavailable_branches,
+    pv_member_tables,
+)
 from repro.resilience.faults import (
     DOWN,
     FaultInjector,
     OK,
     TIMEOUT,
     TRANSIENT,
+)
+from repro.resilience.health import (
+    CLOSED,
+    CircuitBreaker,
+    HALF_OPEN,
+    HealthRegistry,
+    OPEN,
+    SimulatedClock,
 )
 from repro.resilience.retry import (
     NO_RETRY,
@@ -42,4 +56,14 @@ __all__ = [
     "TRANSIENT",
     "TIMEOUT",
     "DOWN",
+    "CircuitBreaker",
+    "HealthRegistry",
+    "SimulatedClock",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "PartialResultsInfo",
+    "SkippedPartition",
+    "prune_unavailable_branches",
+    "pv_member_tables",
 ]

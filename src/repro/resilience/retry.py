@@ -12,8 +12,9 @@ Backoff is *simulated*: each retry charges
 ``backoff_ms(attempt)`` to the channel's ``simulated_ms`` (and to the
 statement's :class:`QueryBudget` when one is attached), so experiments
 see retries as added latency, not wall-clock sleeps.  Jitter is
-deterministic — a hash of (channel name, attempt) — keeping whole
-benchmark sweeps replayable.
+deterministic — a hash of (channel name, operation, attempt) — keeping
+whole benchmark sweeps replayable while desynchronizing concurrent
+retries against the same member.
 """
 
 from __future__ import annotations
@@ -146,7 +147,14 @@ def call_with_retry(
                 if channel is not None and policy.is_retryable(error):
                     channel.note_retries_exhausted(description, attempt)
                 raise
-            key = channel.name if channel is not None else description
+            # distinct jitter key per (server, operation): keying on the
+            # channel name alone made every concurrent retry against one
+            # member back off in lockstep, re-colliding on each attempt
+            key = (
+                f"{channel.name}/{description}"
+                if channel is not None
+                else description
+            )
             backoff = policy.backoff_ms(attempt, jitter_key=key)
             if channel is not None:
                 channel.charge_backoff(backoff, attempt, description, error)

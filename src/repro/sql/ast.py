@@ -369,6 +369,19 @@ class DropTableStmt(Statement):
         self.table = table
 
 
+class SetStmt(Statement):
+    """``SET <option> ON|OFF`` — a session setting toggle.
+
+    The engine interprets the option name; the parser only validates
+    the shape.  Currently the sole recognized option is
+    ``PARTIAL_RESULTS``.
+    """
+
+    def __init__(self, option: str, value: bool):
+        self.option = option.lower()
+        self.value = value
+
+
 class ExplainStmt(Statement):
     """EXPLAIN [ANALYZE] [VERBOSE] <select>, or the parenthesized
     option-list form ``EXPLAIN (ANALYZE, VERBOSE) <select>``.

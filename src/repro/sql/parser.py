@@ -124,10 +124,28 @@ class _Parser:
             return self.create_statement()
         if self.at_keyword("drop"):
             return self.drop_statement()
+        if self.at_keyword("set"):
+            return self.set_statement()
         token = self.peek()
         raise ParseError(
             f"expected a statement, got {token.value!r}", token.position
         )
+
+    def set_statement(self) -> ast.SetStmt:
+        """``SET <option> ON|OFF`` — ``on`` is a reserved word (join
+        syntax), ``off`` lexes as a plain identifier."""
+        self.expect_keyword("set")
+        option = self.expect_identifier()
+        if self.accept_keyword("on"):
+            value = True
+        elif self._accept_name("off"):
+            value = False
+        else:
+            token = self.peek()
+            raise ParseError(
+                f"expected ON or OFF, got {token.value!r}", token.position
+            )
+        return ast.SetStmt(option, value)
 
     def _explain_options(self) -> tuple[bool, bool]:
         """ANALYZE / VERBOSE after EXPLAIN: bare words or a parenthesized

@@ -65,12 +65,23 @@ def _param_join_plan() -> str:
     return local.plan(worlds.PARAM_JOIN_SQL).explain()
 
 
+def _health_penalized_plan() -> str:
+    """Figure 4(b)'s deep remote join with remote0's breaker open: the
+    optimizer must abandon pushdown and fall back to fetch-and-filter
+    (RemoteScans + local join) so the plan survives a replan."""
+    local, _remote, _channel = worlds.build_fig4_world()
+    local.plan(worlds.FIG4_SQL)  # warm remote metadata while healthy
+    local.health.breaker("remote0").force_open(reason="golden")
+    return local.plan(worlds.FIG4_SQL).explain()
+
+
 #: case name -> plan producer (raw EXPLAIN text)
 GOLDEN_CASES: dict[str, Callable[[], str]] = {
     "fig4_remote_join": _fig4_plan,
     "partition_pruning": _pruning_plan,
     "remote_spool": _spool_plan,
     "parameterized_join": _param_join_plan,
+    "health_penalized_fallback": _health_penalized_plan,
 }
 
 

@@ -21,9 +21,18 @@ ship predicates, build remote queries, probe with parameters, or
 retry after transient faults must all return exactly what the
 all-local reference returns.
 
+A fifth column, ``partial``, runs when the schema has a remotely-hosted
+partitioned view: the first remote member is taken down and
+``SET PARTIAL_RESULTS ON`` — for monotonic queries (no TOP, no
+aggregation, no direct read of the down member) the degraded answer
+must be a *sub-multiset* of the all-local reference: fewer rows is
+degradation, different rows is a bug.
+
 A mismatch report carries everything needed to reproduce: the case
-seed, the SQL text rendered for each configuration, and each
-configuration's EXPLAIN output.
+seed, the SQL text rendered for each configuration, each
+configuration's EXPLAIN output, and the per-server network counters
+(retries, backoff, breaker trips/fast-fails) of every configuration
+that ran.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from __future__ import annotations
 import datetime as dt
 import traceback
 import zlib
+from collections import Counter
 from typing import Any, Optional
 
 from repro.engine import Engine, QueryResult, ServerInstance
@@ -38,6 +48,7 @@ from repro.core.optimizer import OptimizerOptions
 from repro.network.channel import NetworkChannel
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
+from repro.sql import ast as ast_sql
 from repro.testcheck.schema import SchemaSpec, TableSpec, generate_schema
 from repro.testcheck.sqlgen import GeneratedQuery, generate_query
 from repro.types.collation import DEFAULT_COLLATION
@@ -187,6 +198,74 @@ def build_worlds(
 
 
 # ======================================================================
+# the partial-results oracle (degraded-mode subset column)
+# ======================================================================
+
+def partial_down_host(schema: SchemaSpec) -> Optional[str]:
+    """The partitioned-view member host the partial oracle takes down
+    (first remote member host in sorted order), or None when the schema
+    has no remotely-hosted view member."""
+    if schema.view is None:
+        return None
+    hosts = sorted(
+        {m.host for m in schema.view.members if m.host != "local"}
+    )
+    return hosts[0] if hosts else None
+
+
+def build_partial_world(
+    schema: SchemaSpec, fault_seed: int = 0
+) -> tuple[Optional[OracleWorld], Optional[str]]:
+    """A fifth world: distributed topology, one PV member down, and
+    ``SET PARTIAL_RESULTS ON`` — its answers must be sub-multisets of
+    the all-local reference, never wrong rows."""
+    down_host = partial_down_host(schema)
+    if down_host is None:
+        return None, None
+    world = build_world(schema, "partial", fault_seed=fault_seed)
+    # warm every member's metadata while healthy: delayed schema
+    # validation then lets degraded queries still compile
+    world.engine.execute(f"SELECT * FROM {schema.view.name}")
+    world.channels[down_host].fault_injector = FaultInjector(
+        seed=fault_seed, down=True
+    )
+    world.engine.execute("SET PARTIAL_RESULTS ON")
+    return world, down_host
+
+
+def eligible_for_partial(
+    schema: SchemaSpec, query: GeneratedQuery, down_host: str
+) -> bool:
+    """The subset property only holds for monotonic queries: no TOP, no
+    aggregation (a COUNT over fewer partitions is a *different* number,
+    not a subset), and no base table hosted on the down member (those
+    reads have no healthy sibling and stay fail-stop)."""
+    if query.has_top:
+        return False
+    stmt = query.stmt
+    if stmt.group_by or stmt.having is not None:
+        return False
+    for item in stmt.items:
+        if isinstance(getattr(item, "expr", None), ast_sql.FuncExpr):
+            return False
+    for name in query.tables:
+        table = schema.tables.get(name)
+        if table is not None and table.host == down_host:
+            return False
+    return True
+
+
+def is_sub_multiset(sub: list[tuple], sup: list[tuple]) -> bool:
+    """Canonical multiset inclusion: every row of ``sub`` appears in
+    ``sup`` at least as many times."""
+    sub_counts = Counter(canonical_rows(sub))
+    sup_counts = Counter(canonical_rows(sup))
+    return all(
+        count <= sup_counts[row] for row, count in sub_counts.items()
+    )
+
+
+# ======================================================================
 # collation-aware multiset equality
 # ======================================================================
 
@@ -260,10 +339,12 @@ class Mismatch:
         explain_by_config: dict[str, str],
         reference_rows: list[tuple],
         actual_rows: list[tuple],
+        network_by_config: Optional[dict[str, dict]] = None,
     ):
         self.case_id = case_id
-        #: 'rows' (multiset differs), 'order' (ORDER BY violated), or
-        #: 'error' (a configuration raised)
+        #: 'rows' (multiset differs), 'order' (ORDER BY violated),
+        #: 'partial' (degraded answer not a subset of the reference),
+        #: or 'error' (a configuration raised)
         self.kind = kind
         self.config = config
         self.detail = detail
@@ -271,6 +352,10 @@ class Mismatch:
         self.explain_by_config = explain_by_config
         self.reference_rows = reference_rows
         self.actual_rows = actual_rows
+        #: per-config network attribution (retries, backoff, breaker
+        #: trips/fast-fails per server) — whether a config was retrying
+        #: or fast-failing is often the whole story of a mismatch
+        self.network_by_config = network_by_config or {}
 
     def describe(self) -> str:
         lines = [
@@ -289,6 +374,20 @@ class Mismatch:
             f"{self.config} rows:\n    {_sample(self.actual_rows)}"
         )
         lines.append("")
+        for config, network in self.network_by_config.items():
+            for server, stats in network.items():
+                interesting = {
+                    key: value
+                    for key, value in stats.items()
+                    if key in (
+                        "retries", "backoff_ms",
+                        "breaker_trips", "breaker_fast_fails",
+                    ) and value
+                }
+                if interesting:
+                    lines.append(
+                        f"-- network [{config}/{server}] -- {interesting}"
+                    )
         for config, plan in self.explain_by_config.items():
             lines.append(f"-- EXPLAIN [{config}] --")
             lines.extend(f"  {line}" for line in plan.splitlines())
@@ -357,11 +456,14 @@ class DifferentialRunner:
         worlds: dict[str, OracleWorld],
         query: GeneratedQuery,
         cid: str,
+        partial_world: Optional[OracleWorld] = None,
     ) -> Optional[Mismatch]:
         sql_by_config = {
             name: query.render(world.name_map)
             for name, world in worlds.items()
         }
+        if partial_world is not None:
+            sql_by_config["partial"] = query.render(partial_world.name_map)
 
         def explains() -> dict[str, str]:
             if not self.collect_explains:
@@ -372,6 +474,14 @@ class DifferentialRunner:
             }
 
         results: dict[str, QueryResult] = {}
+
+        def networks() -> dict[str, dict]:
+            return {
+                name: result.network
+                for name, result in results.items()
+                if result.network
+            }
+
         for name, world in worlds.items():
             if name == "faulted":
                 # per-case deterministic fault stream, independent of
@@ -390,6 +500,7 @@ class DifferentialRunner:
                     sql_by_config, explains(),
                     results.get("local").rows if "local" in results else [],
                     [],
+                    network_by_config=networks(),
                 )
 
         reference = results["local"]
@@ -403,6 +514,7 @@ class DifferentialRunner:
                     f"{len(actual.rows)} rows)",
                     sql_by_config, explains(),
                     reference.rows, actual.rows,
+                    network_by_config=networks(),
                 )
         if query.order_keys:
             for name, result in results.items():
@@ -413,19 +525,51 @@ class DifferentialRunner:
                         f"{query.order_keys}",
                         sql_by_config, explains(),
                         reference.rows, result.rows,
+                        network_by_config=networks(),
                     )
+        if partial_world is not None:
+            try:
+                results["partial"] = partial_world.run(query)
+            except Exception:
+                return Mismatch(
+                    cid, "partial", "partial",
+                    f"partial-results configuration raised instead of "
+                    f"degrading:\n{traceback.format_exc()}",
+                    sql_by_config, explains(),
+                    reference.rows, [],
+                    network_by_config=networks(),
+                )
+            degraded = results["partial"]
+            if not is_sub_multiset(degraded.rows, reference.rows):
+                return Mismatch(
+                    cid, "partial", "partial",
+                    f"degraded answer is not a sub-multiset of the "
+                    f"all-local reference ({len(degraded.rows)} vs "
+                    f"{len(reference.rows)} rows)",
+                    sql_by_config, explains(),
+                    reference.rows, degraded.rows,
+                    network_by_config=networks(),
+                )
         return None
 
     def run_case(self, schema_seed: int, query_index: int) -> Optional[Mismatch]:
-        """Build the four worlds for one schema and run one query —
+        """Build the oracle worlds for one schema and run one query —
         the ``--repro`` path."""
         schema = generate_schema(schema_seed)
         worlds = build_worlds(schema, fault_seed=schema_seed)
+        partial_world, down_host = build_partial_world(
+            schema, fault_seed=schema_seed
+        )
         query = generate_query(
             schema, schema_seed * 10_000 + query_index
         )
+        if partial_world is not None and not eligible_for_partial(
+            schema, query, down_host
+        ):
+            partial_world = None
         return self.check_case(
-            worlds, query, case_id(schema_seed, query_index)
+            worlds, query, case_id(schema_seed, query_index),
+            partial_world=partial_world,
         )
 
     # -- batch -------------------------------------------------------------
@@ -437,13 +581,22 @@ class DifferentialRunner:
             schema_seed = self.seed + schema_index
             schema = generate_schema(schema_seed)
             worlds = build_worlds(schema, fault_seed=schema_seed)
+            partial_world, down_host = build_partial_world(
+                schema, fault_seed=schema_seed
+            )
             batch = min(remaining, self.queries_per_schema)
             for query_index in range(batch):
                 query = generate_query(
                     schema, schema_seed * 10_000 + query_index
                 )
                 cid = case_id(schema_seed, query_index)
-                mismatch = self.check_case(worlds, query, cid)
+                eligible = partial_world is not None and eligible_for_partial(
+                    schema, query, down_host
+                )
+                mismatch = self.check_case(
+                    worlds, query, cid,
+                    partial_world=partial_world if eligible else None,
+                )
                 report.cases_run += 1
                 if mismatch is not None:
                     report.mismatches.append(mismatch)

@@ -312,6 +312,7 @@ class TestSystemViews:
             "dm_exec_connections",
             "dm_exec_query_stats",
             "dm_os_performance_counters",
+            "dm_server_health",
         )
 
     def test_dm_exec_connections_live_totals(self, world):

@@ -391,7 +391,11 @@ class TestDelayedSchemaValidation:
         with pytest.raises(ServerUnavailableError):
             local.execute("SELECT * FROM li")
         injector.mark_up()
+        # the failure tripped srv1993's circuit breaker; recovery is
+        # observed at the next half-open probe, after the open interval
+        local.health.tick(local.health.breaker("srv1993").open_interval_ms)
         assert len(local.execute("SELECT * FROM li").rows) == 3
+        assert local.health.state_of("srv1993") == "closed"
 
     def test_runtime_pruning_skips_down_member(self, distributed_pv):
         local, members = distributed_pv
