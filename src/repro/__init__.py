@@ -32,7 +32,12 @@ from repro.network.channel import NetworkChannel
 from repro.core.optimizer import OptimizerOptions
 from repro.core.cost import CostModel
 from repro.fulltext.service import FullTextService
-from repro.observability import MetricsRegistry, PlanProfiler, QueryTrace
+from repro.observability import (
+    MetricsRegistry,
+    PlanProfiler,
+    QueryStore,
+    QueryTrace,
+)
 from repro.resilience import FaultInjector, QueryBudget, RetryPolicy
 
 __version__ = "1.0.0"
@@ -47,6 +52,7 @@ __all__ = [
     "FullTextService",
     "MetricsRegistry",
     "PlanProfiler",
+    "QueryStore",
     "QueryTrace",
     "FaultInjector",
     "RetryPolicy",

@@ -167,8 +167,34 @@ class LinkedServer:
         member whose pings still answer would reset the failure streak
         every statement and the breaker could never trip.
         """
-        breaker = self.breaker
         description = description or self.name
+        channel = self.channel
+        trace = channel.trace if channel is not None else None
+        if trace is None:
+            return self._run_with_retry_inner(fn, description)
+        # one child span per remote command, nested under whichever
+        # operator span is current when the dispatch happens — retries,
+        # backoff waits and breaker fast-fails all land inside it
+        span = trace.begin_span(
+            "remote_command", server=self.name, operation=description
+        )
+        stats_before = channel.stats.snapshot()
+        started = trace.clock()
+        try:
+            return self._run_with_retry_inner(fn, description)
+        finally:
+            span.duration_ms += trace.clock() - started
+            delta = channel.stats.delta(stats_before)
+            span.attrs["retries"] = int(delta["retries"])
+            span.attrs["backoff_ms"] = round(delta["backoff_ms"], 3)
+            span.attrs["breaker_fast_fails"] = int(
+                delta["breaker_fast_fails"]
+            )
+            span.attrs["round_trips"] = int(delta["round_trips"])
+            trace.exit_span(span)
+
+    def _run_with_retry_inner(self, fn, description: str):
+        breaker = self.breaker
         if breaker is not None:
             breaker.before_attempt(self.channel, description)
         trips_before = (

@@ -210,6 +210,11 @@ class Optimizer:
         #: breaker disqualifies deep pushdown and penalizes remote
         #: access so plans route around unhealthy members
         self.health: Optional[Any] = None
+        #: optional plan-pin source (the engine's Query Store):
+        #: ``plan_pins(query_key) -> Optional[PhysicalOp]``.  Consulted
+        #: before exploration when optimize() is given a query key; a
+        #: pinned plan short-circuits the whole search.
+        self.plan_pins: Optional[Any] = None
 
     def normalize_options(self) -> NormalizeOptions:
         """The normalization configuration this optimizer runs under —
@@ -238,8 +243,18 @@ class Optimizer:
     # ==================================================================
     # entry point
     # ==================================================================
-    def optimize(self, root: LogicalOp) -> OptimizationResult:
+    def optimize(
+        self, root: LogicalOp, query_key: Optional[str] = None
+    ) -> OptimizationResult:
         started = time.perf_counter()
+        forced = self._consult_plan_pin(root, query_key)
+        if forced is not None:
+            stats = PhaseStats(-1)
+            stats.best_cost = forced.cost
+            return OptimizationResult(
+                forced, forced.cost, Memo(), [stats],
+                time.perf_counter() - started,
+            )
         root = normalize(root, self.normalize_options())
         memo = Memo()
         root_group = memo.insert_tree(root)
@@ -264,6 +279,34 @@ class Optimizer:
             raise OptimizerError("optimization produced no plan")
         elapsed = time.perf_counter() - started
         return OptimizationResult(best, best.cost, memo, phase_stats, elapsed)
+
+    def _consult_plan_pin(
+        self, root: LogicalOp, query_key: Optional[str]
+    ) -> Optional[P.PhysicalOp]:
+        """A pinned plan for this statement, validated against the bound
+        tree, or None.
+
+        The Query Store keeps the captured plan *object*; because the
+        binder mints column ids deterministically for identical text,
+        the pin is only honored when the pinned plan still produces
+        every column the fresh bind asks for — a stale pin (schema
+        change, different parameter shape) silently falls back to a
+        normal search rather than producing wrong columns.
+        """
+        if query_key is None or self.plan_pins is None:
+            return None
+        pinned = self.plan_pins(query_key)
+        if pinned is None:
+            return None
+        if not set(root.output_ids()) <= set(pinned.output_ids()):
+            if self.trace is not None:
+                self.trace.event("plan_force_mismatch")
+            return None
+        if self.trace is not None:
+            self.trace.event(
+                "plan_forced", fingerprint=P.plan_fingerprint(pinned)
+            )
+        return pinned
 
     # ==================================================================
     # exploration

@@ -14,6 +14,7 @@ and ``Spool`` ("spool over remote operation").
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Optional, Sequence
 
 from repro.algebra.expressions import (
@@ -39,6 +40,18 @@ class PhysicalOp:
 
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         """(cid, ascending) keys this operator's output is ordered by."""
+        return ()
+
+    def fingerprint_atoms(self) -> tuple:
+        """Identity attributes for plan fingerprinting.
+
+        Subclasses expose what determines *where and how* the operator
+        runs — table names, index names, server names, pushed SQL text,
+        join kinds — and nothing volatile: no costs, no row estimates,
+        no column ids (the optimizer mints fresh cids per compile, so a
+        fingerprint that included them would never match across
+        executions of the same statement).
+        """
         return ()
 
     @property
@@ -78,6 +91,9 @@ class TableScan(PhysicalOp):
     def output_ids(self) -> tuple[ColumnId, ...]:
         return self.table.column_ids()
 
+    def fingerprint_atoms(self) -> tuple:
+        return (self.table.qualified_name,)
+
     def __repr__(self) -> str:
         return f"TableScan({self.table.qualified_name}, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 
@@ -113,6 +129,13 @@ class IndexRange(PhysicalOp):
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return ((self.key_cid, True),)
 
+    def fingerprint_atoms(self) -> tuple:
+        return (
+            self.table.qualified_name,
+            self.index_name,
+            self.dynamic_probe is not None,
+        )
+
     def __repr__(self) -> str:
         return (
             f"IndexRange({self.table.qualified_name}.{self.index_name}, "
@@ -130,6 +153,9 @@ class RemoteScan(PhysicalOp):
 
     def output_ids(self) -> tuple[ColumnId, ...]:
         return self.table.column_ids()
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.table.server, self.table.qualified_name)
 
     def __repr__(self) -> str:
         return f"RemoteScan({self.table.qualified_name}, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
@@ -160,6 +186,9 @@ class RemoteRange(PhysicalOp):
 
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return ((self.key_cid, True),)
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.table.server, self.table.qualified_name, self.index_name)
 
     def __repr__(self) -> str:
         return (
@@ -194,6 +223,9 @@ class RemoteQuery(PhysicalOp):
     def output_ids(self) -> tuple[ColumnId, ...]:
         return self.out_ids
 
+    def fingerprint_atoms(self) -> tuple:
+        return (self.server.name, self.sql_text, len(self.param_exprs))
+
     def __repr__(self) -> str:
         return (
             f"RemoteQuery({self.server.name}: {self.sql_text!r}, "
@@ -211,6 +243,9 @@ class ProviderRowsetScan(PhysicalOp):
 
     def output_ids(self) -> tuple[ColumnId, ...]:
         return self.node.output_ids()
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.node.label,)
 
     def __repr__(self) -> str:
         return f"ProviderRowsetScan({self.node.label}, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
@@ -249,6 +284,9 @@ class FullTextKeyLookup(PhysicalOp):
 
     def output_ids(self) -> tuple[ColumnId, ...]:
         return (self.key_cid, self.rank_cid)
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.query_text,)
 
     def __repr__(self) -> str:
         return f"FullTextKeyLookup({self.query_text!r}, rows={self.est_rows:.1f})"
@@ -353,6 +391,9 @@ class PhysicalSort(PhysicalOp):
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return tuple((k.cid, k.ascending) for k in self.keys)
 
+    def fingerprint_atoms(self) -> tuple:
+        return tuple(k.ascending for k in self.keys)
+
     def __repr__(self) -> str:
         return f"Sort({list(self.keys)!r}, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 
@@ -371,6 +412,9 @@ class PhysicalTop(PhysicalOp):
 
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return self.child.provided_sort()
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.count,)
 
     def __repr__(self) -> str:
         return f"Top({self.count})"
@@ -414,6 +458,9 @@ class Spool(PhysicalOp):
             return ("spool-scan", child.table.server, child.table.qualified_name)
         return id(self)
 
+    def fingerprint_atoms(self) -> tuple:
+        return (self.reason,)
+
     def __repr__(self) -> str:
         return f"Spool[{self.reason}](rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 
@@ -435,6 +482,9 @@ class HashAggregate(PhysicalOp):
 
     def output_ids(self) -> tuple[ColumnId, ...]:
         return self.group_by + tuple(a.output_cid for a in self.aggregates)
+
+    def fingerprint_atoms(self) -> tuple:
+        return (len(self.group_by), len(self.aggregates))
 
     def __repr__(self) -> str:
         return f"HashAggregate(by={self.group_by}, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
@@ -462,6 +512,9 @@ class StreamAggregate(PhysicalOp):
 
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return tuple((cid, True) for cid in self.group_by)
+
+    def fingerprint_atoms(self) -> tuple:
+        return (len(self.group_by), len(self.aggregates))
 
     def __repr__(self) -> str:
         return f"StreamAggregate(by={self.group_by}, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
@@ -506,6 +559,9 @@ class HashJoin(PhysicalOp):
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return self.left.provided_sort()
 
+    def fingerprint_atoms(self) -> tuple:
+        return (self.kind,)
+
     def __repr__(self) -> str:
         return f"HashJoin[{self.kind}](rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 
@@ -540,6 +596,9 @@ class NLJoin(PhysicalOp):
 
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return self.left.provided_sort()
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.kind,)
 
     def __repr__(self) -> str:
         return f"NLJoin[{self.kind}](rows={self.est_rows:.1f}, cost={self.cost:.3f})"
@@ -576,6 +635,9 @@ class ParameterizedRemoteJoin(PhysicalOp):
 
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return self.left.provided_sort()
+
+    def fingerprint_atoms(self) -> tuple:
+        return (self.kind,)
 
     def __repr__(self) -> str:
         return (
@@ -618,6 +680,9 @@ class MergeJoin(PhysicalOp):
     def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
         return ((self.left_key, True),)
 
+    def fingerprint_atoms(self) -> tuple:
+        return (self.kind,)
+
     def __repr__(self) -> str:
         return f"MergeJoin[{self.kind}](rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 
@@ -639,5 +704,34 @@ class Concat(PhysicalOp):
     def output_ids(self) -> tuple[ColumnId, ...]:
         return tuple(d.cid for d in self.output_defs)
 
+    def fingerprint_atoms(self) -> tuple:
+        return (len(self.children),)
+
     def __repr__(self) -> str:
         return f"Concat({len(self.children)} branches, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
+
+
+# ----------------------------------------------------------------------
+# plan fingerprinting (Query Store hook)
+# ----------------------------------------------------------------------
+
+def plan_shape(plan: PhysicalOp) -> str:
+    """A normalized s-expression for a physical plan's *shape*.
+
+    Built from operator class names plus each node's
+    :meth:`PhysicalOp.fingerprint_atoms` — never costs, row estimates,
+    or column ids — so two compilations of the same statement that pick
+    the same physical strategy produce the *same* shape, while a plan
+    flip (deep pushdown vs fetch-and-filter, hash vs merge, a different
+    member) produces a different one.
+    """
+    atoms = "".join(f" {atom!r}" for atom in plan.fingerprint_atoms())
+    inner = "".join(f" {plan_shape(child)}" for child in plan.children)
+    return f"({type(plan).__name__}{atoms}{inner})"
+
+
+def plan_fingerprint(plan: PhysicalOp) -> str:
+    """Stable 8-hex-digit fingerprint of a plan's normalized shape —
+    the Query Store's plan identity (``sys.query_store_plan``)."""
+    shape = plan_shape(plan)
+    return format(zlib.crc32(shape.encode("utf-8")) & 0xFFFFFFFF, "08x")

@@ -44,6 +44,7 @@ from repro.fulltext.service import FullTextService
 from repro.network.channel import NetworkChannel
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.profile import PlanProfiler, render_analyze
+from repro.observability.querystore import QueryStore, query_hash
 from repro.observability.trace import QueryTrace
 from repro.observability.views import QueryStatsEntry, system_view
 from repro.oledb.datasource import DataSource
@@ -182,6 +183,13 @@ class ServerInstance:
         self.profiling_enabled = False
         #: per-statement aggregates (sys.dm_exec_query_stats), bounded
         self.query_stats: Dict[str, QueryStatsEntry] = {}
+        #: plan-level runtime history (sys.query_store_* views); off by
+        #: default like tracing — when on, every SELECT's execution is
+        #: attributed to (query hash, plan fingerprint) and plan pins
+        #: are honored by the optimizer
+        self.query_store = QueryStore()
+        self.query_store_enabled = False
+        self.optimizer.plan_pins = self.query_store.forced_plan_for
         #: per-query timeout budget in simulated network ms (None = off);
         #: when set, every statement gets a QueryBudget and remote
         #: traffic beyond it raises RemoteTimeoutError
@@ -469,7 +477,7 @@ class ServerInstance:
                     stmt = parse_sql(sql_text)
             else:
                 stmt = parse_sql(sql_text)
-            result = self._dispatch_statement(stmt, params, txn, trace)
+            result = self._dispatch_statement(stmt, params, txn, trace, sql_text)
         finally:
             self._restore_statement_scope(restore)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -481,9 +489,35 @@ class ServerInstance:
             for server, delta in network.items():
                 trace.network(server, delta)
         self._record_query_stats(sql_text, result, elapsed_ms, network)
+        if (
+            self.query_store_enabled
+            and result.plan is not None
+            and isinstance(stmt, ast.SelectStmt)
+        ):
+            self.query_store.record(
+                sql_text,
+                result.plan,
+                len(result.rows),
+                elapsed_ms,
+                network,
+                replans=result.replans,
+                partial=result.is_partial,
+            )
+            self.metrics.increment("query_store.executions")
         self.metrics.increment("engine.statements")
         self.metrics.observe("engine.statement_ms", elapsed_ms)
         return result
+
+    def force_plan(self, query_hash_hex: str, plan_fingerprint: str) -> None:
+        """Pin a captured plan for a query (the Query Store's
+        ``sp_query_store_force_plan``): the optimizer replays the pinned
+        plan on the next execution instead of exploring.  Both arguments
+        come from the ``sys.query_store_*`` views."""
+        self.query_store.force_plan(query_hash_hex, plan_fingerprint)
+        self.metrics.increment("query_store.plans_forced")
+
+    def unforce_plan(self, query_hash_hex: str) -> None:
+        self.query_store.unforce_plan(query_hash_hex)
 
     def _attach_statement_scope(
         self, trace: Optional[QueryTrace], budget: Optional[QueryBudget]
@@ -519,9 +553,12 @@ class ServerInstance:
         params: Optional[Dict[str, Any]],
         txn: Optional[LocalTransaction],
         trace: Optional[QueryTrace],
+        sql_text: Optional[str] = None,
     ) -> QueryResult:
         if isinstance(stmt, ast.SelectStmt):
-            return self._execute_select(stmt, params, trace=trace)
+            return self._execute_select(
+                stmt, params, trace=trace, sql_text=sql_text
+            )
         if isinstance(stmt, ast.ExplainStmt):
             return self._execute_explain(stmt, params, trace=trace)
         if isinstance(stmt, ast.InsertStmt):
@@ -576,17 +613,31 @@ class ServerInstance:
         profiler: Optional[PlanProfiler] = None
         if stmt.analyze:
             profiler = PlanProfiler()
+            # ANALYZE always runs under a trace so remote operators can
+            # be annotated from their remote_command child spans, even
+            # when engine-wide tracing is off (scoped + restored below)
+            run_trace = trace if trace is not None else QueryTrace("explain analyze")
             ctx = ExecutionContext(
                 params,
                 subquery_executor=self._run_subquery,
                 profiler=profiler,
                 metrics=self.metrics,
-                trace=trace,
+                trace=run_trace,
+            )
+            restore = (
+                self._attach_statement_scope(run_trace, None)
+                if trace is None
+                else []
             )
             before = self._network_snapshot()
-            execute_plan(optimization.plan, ctx)
+            try:
+                execute_plan(optimization.plan, ctx)
+            finally:
+                self._restore_statement_scope(restore)
             network = self._network_delta(before)
-            lines = render_analyze(optimization.plan, profiler, network)
+            lines = render_analyze(
+                optimization.plan, profiler, network, trace=run_trace
+            )
             if stmt.verbose:
                 verbose_lines = optimization.explain(verbose=True).splitlines()
                 lines.extend(
@@ -611,15 +662,22 @@ class ServerInstance:
         return result
 
     def _optimize_traced(
-        self, root: LogicalOp, trace: Optional[QueryTrace]
+        self,
+        root: LogicalOp,
+        trace: Optional[QueryTrace],
+        query_key: Optional[str] = None,
     ) -> OptimizationResult:
-        """Optimize with rule-firing events routed to ``trace``."""
+        """Optimize with rule-firing events routed to ``trace``.
+
+        ``query_key`` (the statement text, when the Query Store is on)
+        lets the optimizer consult plan pins before exploration.
+        """
         if trace is None:
-            return self.optimizer.optimize(root)
+            return self.optimizer.optimize(root, query_key=query_key)
         self.optimizer.trace = trace
         try:
             with trace.span("optimize"):
-                return self.optimizer.optimize(root)
+                return self.optimizer.optimize(root, query_key=query_key)
         finally:
             self.optimizer.trace = None
 
@@ -661,6 +719,7 @@ class ServerInstance:
         stmt: ast.SelectStmt,
         trace: Optional[QueryTrace],
         allow_probes: bool = True,
+        sql_text: Optional[str] = None,
     ) -> tuple[BoundQuery, OptimizationResult, list[SkippedPartition]]:
         """Bind, optionally prune unreachable PV members, optimize."""
         if trace is not None:
@@ -688,7 +747,15 @@ class ServerInstance:
                     "partial_results_prune",
                     skipped=[s.as_dict() for s in skipped],
                 )
-        optimization = self._optimize_traced(root, trace)
+        # plan pins are honored on the first plan only: a replan runs
+        # because the pinned plan's member just died, so replaying the
+        # pin would fail the statement a second time
+        query_key = (
+            sql_text
+            if self.query_store_enabled and sql_text and allow_probes
+            else None
+        )
+        optimization = self._optimize_traced(root, trace, query_key)
         return bound, optimization, skipped
 
     def _execute_select(
@@ -696,8 +763,11 @@ class ServerInstance:
         stmt: ast.SelectStmt,
         params: Optional[Dict[str, Any]],
         trace: Optional[QueryTrace] = None,
+        sql_text: Optional[str] = None,
     ) -> QueryResult:
-        bound, optimization, skipped = self._plan_select(stmt, trace)
+        bound, optimization, skipped = self._plan_select(
+            stmt, trace, sql_text=sql_text
+        )
         profiler = PlanProfiler() if self.profiling_enabled else None
         replans = 0
         ctx = ExecutionContext(

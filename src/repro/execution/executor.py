@@ -48,12 +48,18 @@ def open_plan(plan: P.PhysicalOp, ctx: ExecutionContext) -> Iterator[Row]:
     """Open a physical plan into a fresh iterator (re-openable).
 
     When the context carries a profiler, every operator's row stream is
-    wrapped with per-node row/time accounting; otherwise the iterator is
-    returned untouched (one ``is None`` test per open).
+    wrapped with per-node row/time accounting; when it carries a trace,
+    the stream additionally runs under a per-operator span (created on
+    first pull, so the span tree mirrors the plan tree).  Otherwise the
+    iterator is returned untouched (one ``is None`` test per open).
     """
     rows = _dispatch(plan, ctx)
     if ctx.profiler is not None:
-        return ctx.profiler.instrument(plan, rows)
+        rows = ctx.profiler.instrument(plan, rows)
+    if ctx.trace is not None:
+        rows = ctx.trace.instrument_operator(
+            type(plan).__name__, rows, node_id=id(plan)
+        )
     return rows
 
 

@@ -11,18 +11,74 @@ from repro.execution.context import ExecutionContext
 Row = tuple
 
 
+def _span_wrapped_rows(
+    channel: Any, server_name: str, open_fn, description: str
+) -> Iterator[Row]:
+    """Lazily stream a remote rowset under a ``remote_command`` span.
+
+    The span is created on the first pull — while the consuming
+    operator's span is current — and re-entered around every subsequent
+    pull, so per-batch network charges land on it even though the
+    stream stays fully lazy.  The rowset itself is also opened inside
+    the span (the command dispatch is part of the remote operation).
+    """
+    trace = channel.trace
+    span = None
+    stats_before = None
+    rows: Iterator[Row] | None = None
+    while True:
+        if span is None:
+            span = trace.begin_span(
+                "remote_command", server=server_name, operation=description
+            )
+            stats_before = channel.stats.snapshot()
+        else:
+            trace.enter_span(span)
+        started = trace.clock()
+        try:
+            if rows is None:
+                rows = iter(open_fn())
+            row = next(rows)
+        except StopIteration:
+            span.duration_ms += trace.clock() - started
+            _finish_remote_span(span, channel, stats_before)
+            trace.exit_span(span)
+            return
+        except BaseException:
+            span.duration_ms += trace.clock() - started
+            _finish_remote_span(span, channel, stats_before)
+            trace.exit_span(span)
+            raise
+        span.duration_ms += trace.clock() - started
+        trace.exit_span(span)
+        yield row
+
+
+def _finish_remote_span(span: Any, channel: Any, stats_before: dict) -> None:
+    delta = channel.stats.delta(stats_before)
+    span.attrs["retries"] = int(delta["retries"])
+    span.attrs["backoff_ms"] = round(delta["backoff_ms"], 3)
+    span.attrs["breaker_fast_fails"] = int(delta["breaker_fast_fails"])
+    span.attrs["round_trips"] = int(delta["round_trips"])
+
+
 def _resilient_rows(server: Any, open_fn, description: str) -> Iterator[Row]:
     """Iterate a remote rowset, retrying under faults.
 
     Fault-free channels keep the original lazy streaming (bytes charge
-    as the consumer pulls).  With a fault injector attached, the rowset
-    is materialized *inside* the retry scope instead: a mid-stream
-    transient discards the partial transfer and re-opens the rowset, so
-    the retry unit is the whole rowset and consumers never see
-    duplicated rows.
+    as the consumer pulls); when a trace is attached the stream runs
+    under a per-rowset ``remote_command`` span.  With a fault injector
+    attached, the rowset is materialized *inside* the retry scope
+    instead: a mid-stream transient discards the partial transfer and
+    re-opens the rowset, so the retry unit is the whole rowset and
+    consumers never see duplicated rows.
     """
     channel = getattr(server, "channel", None)
     if channel is None or channel.fault_injector is None:
+        if channel is not None and channel.trace is not None:
+            return _span_wrapped_rows(
+                channel, server.name, open_fn, description
+            )
         return iter(open_fn())
     return iter(
         server.run_with_retry(
@@ -136,6 +192,11 @@ def run_remote_range(plan: P.RemoteRange, ctx: ExecutionContext) -> Iterator[Row
                 lambda: list(generate()),
                 description=f"range:{plan.table.qualified_name}",
             )
+        )
+    elif channel is not None and channel.trace is not None:
+        rows = _span_wrapped_rows(
+            channel, server.name, generate,
+            f"range:{plan.table.qualified_name}",
         )
     else:
         rows = generate()

@@ -173,6 +173,10 @@ class NetworkChannel:
         """Add simulated time to the running totals and, when a
         statement budget is attached, draw it down (which may raise)."""
         self.stats.simulated_ms += ms
+        if self.trace is not None:
+            # attribute the charge to every open span so each level of
+            # the span tree carries its inclusive network time
+            self.trace.add_network_ms(ms)
         if self.budget is not None:
             self.budget.charge(ms)
 

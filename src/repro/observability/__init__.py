@@ -16,14 +16,25 @@ reproduction's equivalent surface:
 * :class:`~repro.observability.profile.PlanProfiler` — per-operator
   actual rows, open/next/close time, and rescans, rendered as an
   annotated actual-vs-estimated plan by ``EXPLAIN ANALYZE``.
+* :class:`~repro.observability.querystore.QueryStore` — plan-level
+  runtime history keyed by (normalized query text, plan fingerprint)
+  with regression detection and plan forcing, dumped by the
+  ``sys.query_store_*`` views.
 * :mod:`~repro.observability.views` — the virtual tables
-  ``sys.dm_exec_query_stats``, ``sys.dm_exec_connections`` and
-  ``sys.dm_os_performance_counters``, resolvable by the binder and
+  ``sys.dm_exec_query_stats``, ``sys.dm_exec_connections``,
+  ``sys.dm_os_performance_counters``, ``sys.dm_server_health``, and
+  the four ``sys.query_store_*`` views, resolvable by the binder and
   queryable with ordinary SELECTs.
 """
 
 from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.observability.profile import OperatorProfile, PlanProfiler, render_analyze
+from repro.observability.querystore import (
+    QueryStore,
+    Regression,
+    normalize_query_text,
+    query_hash,
+)
 from repro.observability.trace import QueryTrace, SpanEvent, TraceEvent
 from repro.observability.views import system_view, system_view_names
 
@@ -35,6 +46,10 @@ __all__ = [
     "OperatorProfile",
     "PlanProfiler",
     "render_analyze",
+    "QueryStore",
+    "Regression",
+    "normalize_query_text",
+    "query_hash",
     "QueryTrace",
     "SpanEvent",
     "TraceEvent",

@@ -12,6 +12,7 @@ every execution path.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Iterator, Union
 
 
@@ -52,15 +53,19 @@ class Gauge:
 
 
 class Histogram:
-    """A simple summary histogram: count / sum / min / max.
+    """A summary histogram: count / sum / min / max plus percentiles.
 
-    Enough for latency-style metrics without binning policy; the mean
-    is derived (``sum / count``).
+    Keeps a bounded window of the most recent observations so p50/p95/
+    p99 reflect recent behavior without unbounded memory; count/sum/
+    min/max remain exact over the instrument's lifetime.
     """
 
-    __slots__ = ("name", "count", "sum", "minimum", "maximum")
+    __slots__ = ("name", "count", "sum", "minimum", "maximum", "samples")
 
     kind = "histogram"
+
+    #: observations retained for percentile estimates
+    SAMPLE_WINDOW = 512
 
     def __init__(self, name: str):
         self.name = name
@@ -68,6 +73,7 @@ class Histogram:
         self.sum = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.samples: deque[float] = deque(maxlen=self.SAMPLE_WINDOW)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -77,6 +83,7 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.samples.append(value)
 
     @property
     def mean(self) -> float:
@@ -86,6 +93,20 @@ class Histogram:
     def value(self) -> float:
         """The headline value a registry dump reports (the mean)."""
         return self.mean
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of the retained window,
+        with linear interpolation between adjacent samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
     def __repr__(self) -> str:
         return (
@@ -162,6 +183,18 @@ class MetricsRegistry:
         out = []
         for name, instrument in sorted(self._instruments.items()):
             out.append((self.namespace, name, instrument.kind, instrument.value))
+            if isinstance(instrument, Histogram):
+                # distinct counter rows per percentile, so a plain
+                # SELECT can filter on e.g. counter_name LIKE '%.p95'
+                for p in (50, 95, 99):
+                    out.append(
+                        (
+                            self.namespace,
+                            f"{name}.p{p}",
+                            "histogram_percentile",
+                            instrument.percentile(p),
+                        )
+                    )
         return out
 
     def reset(self) -> None:

@@ -149,13 +149,57 @@ def _walk_depth(plan: Any, depth: int):
         yield from _walk_depth(child, depth + 1)
 
 
+def remote_stats_by_node(trace: Any) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Aggregate ``remote_command`` spans per dispatching plan node.
+
+    Operator spans carry the plan node's identity (``node_id``); each
+    remote command is a child span of the operator that dispatched it,
+    so walking parentage attributes retries, backoff waits, breaker
+    fast-fails and network time to specific plan nodes, per server.
+    """
+    spans_by_id = {s.span_id: s for s in trace.spans()}
+    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for span in trace.remote_command_spans():
+        parent = spans_by_id.get(span.parent_id)
+        node_id = parent.attrs.get("node_id") if parent is not None else None
+        if node_id is None:
+            continue
+        server = span.attrs.get("server", "?")
+        entry = out.setdefault(node_id, {}).setdefault(
+            server,
+            {
+                "commands": 0,
+                "retries": 0,
+                "backoff_ms": 0.0,
+                "breaker_fast_fails": 0,
+                "net_ms": 0.0,
+            },
+        )
+        entry["commands"] += 1
+        entry["retries"] += int(span.attrs.get("retries", 0))
+        entry["backoff_ms"] += float(span.attrs.get("backoff_ms", 0.0))
+        entry["breaker_fast_fails"] += int(
+            span.attrs.get("breaker_fast_fails", 0)
+        )
+        entry["net_ms"] += span.net_ms
+    return out
+
+
 def render_analyze(
     plan: Any,
     profiler: PlanProfiler,
     network: Optional[Dict[str, Dict[str, float]]] = None,
+    trace: Any = None,
 ) -> list[str]:
     """The EXPLAIN ANALYZE text: plan tree + actual-vs-estimated
-    annotations, followed by per-linked-server network attribution."""
+    annotations, followed by per-linked-server network attribution.
+
+    When a trace with spans is supplied, remote operators additionally
+    carry per-server resilience annotations (retries, backoff ms,
+    breaker fast-fails, simulated network ms) derived from their
+    ``remote_command`` child spans.
+    """
+    remote_by_node = remote_stats_by_node(trace) if trace is not None else {}
     lines: list[str] = []
     for depth, node in _walk_depth(plan, 0):
         profile = profiler.lookup(node)
@@ -173,7 +217,16 @@ def render_analyze(
                 annotation = annotation[:-1] + (
                     f" startup_skips={profile.startup_skips}]"
                 )
-        lines.append("  " * depth + repr(node) + " " + annotation)
+        line = "  " * depth + repr(node) + " " + annotation
+        for server, stats in sorted(remote_by_node.get(id(node), {}).items()):
+            line += (
+                f" [remote {server}: commands={int(stats['commands'])} "
+                f"retries={int(stats['retries'])} "
+                f"backoff={stats['backoff_ms']:.1f}ms "
+                f"fast_fails={int(stats['breaker_fast_fails'])} "
+                f"net={stats['net_ms']:.2f}ms]"
+            )
+        lines.append(line)
     if network:
         lines.append("-- network --")
         for server, delta in sorted(network.items()):

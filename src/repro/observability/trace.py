@@ -1,14 +1,32 @@
-"""Structured query traces.
+"""Structured query traces with hierarchical distributed spans.
 
 A :class:`QueryTrace` collects ordered events for one statement:
 
-* **spans** — parse / bind / optimize / execute with wall-clock start
-  and duration;
+* **spans** — timed scopes with identities (``span_id``) and parentage
+  (``parent_id``): the engine phases (parse / bind / optimize /
+  execute), one span per executed plan operator, and one child span per
+  remote command dispatched to a linked server, so retries, backoff
+  waits, breaker fast-fails and per-member execution nest under the
+  operator that dispatched them;
 * **rule firings** — one event per optimizer rule application (rule
   name, phase, memo group, expressions added), the Cascades analogue of
   SQL Server's optimizer trace output;
 * **point events** — startup-filter skips, remote query dispatches,
-  spool rescans, and per-linked-server network attribution.
+  spool rescans, retries, breaker transitions, and per-linked-server
+  network attribution.  Point events carry the ``span_id`` of the span
+  that was current when they fired.
+
+Every span carries two durations: ``duration_ms`` is wall-clock time
+spent inside the span, and ``net_ms`` is *simulated* network time the
+channels charged while the span was current (a channel charge
+propagates to every span on the current stack, so parent spans
+accumulate their children's network time inclusively).
+
+The current-span context is an explicit stack.  Pipelined operators
+interleave their pulls, so the operator instrumentation re-enters its
+span around every ``next()`` — whatever runs inside a pull (a remote
+command, a retry backoff, a fault) is attributed to the operator that
+triggered it, not to whichever operator happened to open last.
 
 Tracing is off by default.  The engine only allocates a QueryTrace when
 ``tracing_enabled`` is set, and every producer site is guarded by an
@@ -25,64 +43,192 @@ from typing import Any, Dict, Iterator, Optional
 
 
 class TraceEvent:
-    """One point event: a name plus free-form attributes."""
+    """One point event: a name plus free-form attributes.
 
-    __slots__ = ("name", "at_ms", "attrs")
+    ``span_id`` identifies the span that was current when the event
+    fired (None for events outside any span).
+    """
 
-    def __init__(self, name: str, at_ms: float, attrs: Dict[str, Any]):
+    __slots__ = ("name", "at_ms", "attrs", "span_id")
+
+    def __init__(
+        self,
+        name: str,
+        at_ms: float,
+        attrs: Dict[str, Any],
+        span_id: Optional[int] = None,
+    ):
         self.name = name
         self.at_ms = at_ms
         self.attrs = attrs
+        self.span_id = span_id
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"event": self.name, "at_ms": round(self.at_ms, 3), **self.attrs}
+        out = {"event": self.name, "at_ms": round(self.at_ms, 3), **self.attrs}
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        return out
 
     def __repr__(self) -> str:
         return f"TraceEvent({self.name}, {self.attrs})"
 
 
 class SpanEvent(TraceEvent):
-    """A timed phase; ``duration_ms`` is filled when the span closes."""
+    """A timed scope in the span hierarchy.
 
-    __slots__ = ("duration_ms",)
+    For a span, ``span_id`` is its *own* identity and ``parent_id``
+    points at the enclosing span (None for root spans).  ``duration_ms``
+    accumulates wall-clock time spent inside the span; ``net_ms``
+    accumulates simulated network milliseconds charged while the span
+    was on the current stack.
+    """
 
-    def __init__(self, name: str, at_ms: float, attrs: Dict[str, Any]):
-        super().__init__(name, at_ms, attrs)
+    __slots__ = ("duration_ms", "net_ms", "parent_id")
+
+    def __init__(
+        self,
+        name: str,
+        at_ms: float,
+        attrs: Dict[str, Any],
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+    ):
+        super().__init__(name, at_ms, attrs, span_id)
         self.duration_ms: float = 0.0
+        self.net_ms: float = 0.0
+        self.parent_id = parent_id
 
     def as_dict(self) -> Dict[str, Any]:
         out = super().as_dict()
         out["duration_ms"] = round(self.duration_ms, 3)
+        out["net_ms"] = round(self.net_ms, 3)
+        out["parent_id"] = self.parent_id
         return out
 
     def __repr__(self) -> str:
-        return f"SpanEvent({self.name}, {self.duration_ms:.3f}ms)"
+        return (
+            f"SpanEvent({self.name}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration_ms:.3f}ms)"
+        )
 
 
 class QueryTrace:
-    """The ordered event log for one statement."""
+    """The ordered event log (and span tree) for one statement."""
 
     def __init__(self, statement: str = ""):
         self.statement = statement
         self.events: list[TraceEvent] = []
         self._started = time.perf_counter()
+        self._next_span_id = 1
+        #: the current-span context: innermost span last
+        self._stack: list[SpanEvent] = []
 
     def _now_ms(self) -> float:
         return (time.perf_counter() - self._started) * 1000.0
 
+    @staticmethod
+    def clock() -> float:
+        """Monotonic wall-clock milliseconds, for manual span timing at
+        call sites that cannot use the :meth:`span` context manager."""
+        return time.perf_counter() * 1000.0
+
+    # -- span context ----------------------------------------------------------
+    @property
+    def current_span(self) -> Optional[SpanEvent]:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_span_id(self) -> Optional[int]:
+        return self._stack[-1].span_id if self._stack else None
+
+    def begin_span(self, name: str, **attrs: Any) -> SpanEvent:
+        """Open a span under the current one and make it current.
+
+        Prefer the :meth:`span` context manager; ``begin_span`` exists
+        for scopes that cannot be expressed as a ``with`` block (the
+        per-pull operator instrumentation re-enters its span manually).
+        """
+        span = SpanEvent(
+            name,
+            self._now_ms(),
+            attrs,
+            span_id=self._next_span_id,
+            parent_id=self.current_span_id,
+        )
+        self._next_span_id += 1
+        self.events.append(span)
+        self._stack.append(span)
+        return span
+
+    def enter_span(self, span: SpanEvent) -> None:
+        """Re-enter an already-created span (operator pulls)."""
+        self._stack.append(span)
+
+    def exit_span(self, span: SpanEvent) -> None:
+        """Leave a span; tolerant of non-LIFO teardown on error paths."""
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+            return
+        try:
+            self._stack.remove(span)
+        except ValueError:
+            pass
+
+    def add_network_ms(self, ms: float) -> None:
+        """Attribute simulated network time to every span on the
+        current stack (called by the channel's charging hook)."""
+        for span in self._stack:
+            span.net_ms += ms
+
     # -- producers ------------------------------------------------------------
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[SpanEvent]:
-        event = SpanEvent(name, self._now_ms(), attrs)
-        self.events.append(event)
+        span = self.begin_span(name, **attrs)
         started = time.perf_counter()
         try:
-            yield event
+            yield span
         finally:
-            event.duration_ms = (time.perf_counter() - started) * 1000.0
+            span.duration_ms += (time.perf_counter() - started) * 1000.0
+            self.exit_span(span)
+
+    def instrument_operator(
+        self, label: str, rows: Iterator[tuple], **attrs: Any
+    ) -> Iterator[tuple]:
+        """Wrap an operator's row stream so every pull runs under a
+        per-operator span.
+
+        The span is created on the *first* pull — which happens while
+        the consuming operator's span is current, so the span tree
+        mirrors the executed plan tree even though pipelined operators
+        interleave.  ``duration_ms`` accumulates only this operator's
+        pull time (inclusive of its children); remote commands
+        dispatched during a pull become child spans of this one.
+        """
+        span: Optional[SpanEvent] = None
+        while True:
+            started = time.perf_counter()
+            if span is None:
+                span = self.begin_span("operator", operator=label, **attrs)
+            else:
+                self.enter_span(span)
+            try:
+                row = next(rows)
+            except StopIteration:
+                span.duration_ms += (time.perf_counter() - started) * 1000.0
+                self.exit_span(span)
+                return
+            except BaseException:
+                span.duration_ms += (time.perf_counter() - started) * 1000.0
+                self.exit_span(span)
+                raise
+            span.duration_ms += (time.perf_counter() - started) * 1000.0
+            self.exit_span(span)
+            yield row
 
     def event(self, name: str, **attrs: Any) -> TraceEvent:
-        event = TraceEvent(name, self._now_ms(), attrs)
+        event = TraceEvent(
+            name, self._now_ms(), attrs, span_id=self.current_span_id
+        )
         self.events.append(event)
         return event
 
@@ -108,6 +254,16 @@ class QueryTrace:
             for e in self.events
             if isinstance(e, SpanEvent) and (name is None or e.name == name)
         ]
+
+    def span_children(self, span: SpanEvent) -> list[SpanEvent]:
+        return [s for s in self.spans() if s.parent_id == span.span_id]
+
+    def root_spans(self) -> list[SpanEvent]:
+        return [s for s in self.spans() if s.parent_id is None]
+
+    def remote_command_spans(self) -> list[SpanEvent]:
+        """Spans that cover one remote command / remote rowset each."""
+        return self.spans("remote_command")
 
     def rule_firings(self) -> list[TraceEvent]:
         return [e for e in self.events if e.name == "rule_fired"]

@@ -34,6 +34,8 @@ class QueryStatsEntry:
         "last_rows",
         "total_elapsed_ms",
         "last_elapsed_ms",
+        "min_elapsed_ms",
+        "max_elapsed_ms",
         "total_bytes",
         "total_round_trips",
     )
@@ -45,6 +47,8 @@ class QueryStatsEntry:
         self.last_rows = 0
         self.total_elapsed_ms = 0.0
         self.last_elapsed_ms = 0.0
+        self.min_elapsed_ms = 0.0
+        self.max_elapsed_ms = 0.0
         self.total_bytes = 0
         self.total_round_trips = 0
 
@@ -56,6 +60,10 @@ class QueryStatsEntry:
         self.last_rows = rows
         self.total_elapsed_ms += elapsed_ms
         self.last_elapsed_ms = elapsed_ms
+        if self.execution_count == 1 or elapsed_ms < self.min_elapsed_ms:
+            self.min_elapsed_ms = elapsed_ms
+        if elapsed_ms > self.max_elapsed_ms:
+            self.max_elapsed_ms = elapsed_ms
         self.total_bytes += nbytes
         self.total_round_trips += round_trips
 
@@ -80,13 +88,18 @@ def _dm_exec_connections(engine: Any) -> tuple[Columns, list[tuple]]:
         ("round_trips", BIGINT),
         ("simulated_ms", FLOAT),
     ]
+    # type-consistent zeros for channel-less providers, derived from the
+    # declared column types so the row can never drift out of sync with
+    # the column list
+    zeros = tuple(
+        0.0 if sql_type is FLOAT else 0 for __, sql_type in columns[2:]
+    )
     rows = []
     for server in engine.linked_servers.values():
         channel = server.channel
         if channel is None:
             rows.append(
-                (server.name, type(server.datasource).__name__,
-                 0.0, 0.0, 0, 0, 0, 0.0)
+                (server.name, type(server.datasource).__name__) + zeros
             )
             continue
         stats = channel.stats
@@ -113,6 +126,8 @@ def _dm_exec_query_stats(engine: Any) -> tuple[Columns, list[tuple]]:
         ("last_rows", BIGINT),
         ("total_elapsed_ms", FLOAT),
         ("last_elapsed_ms", FLOAT),
+        ("min_elapsed_ms", FLOAT),
+        ("max_elapsed_ms", FLOAT),
         ("total_bytes", BIGINT),
         ("total_round_trips", BIGINT),
     ]
@@ -124,6 +139,8 @@ def _dm_exec_query_stats(engine: Any) -> tuple[Columns, list[tuple]]:
             entry.last_rows,
             entry.total_elapsed_ms,
             entry.last_elapsed_ms,
+            entry.min_elapsed_ms,
+            entry.max_elapsed_ms,
             entry.total_bytes,
             entry.total_round_trips,
         )
@@ -180,11 +197,150 @@ def _dm_server_health(engine: Any) -> tuple[Columns, list[tuple]]:
     return columns, rows
 
 
+def _query_store_query(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per distinct (normalized) query the store has seen."""
+    columns: Columns = [
+        ("query_id", INT),
+        ("query_hash", varchar(16)),
+        ("query_text", varchar()),
+        ("execution_count", BIGINT),
+        ("plan_count", INT),
+        ("active_plan_fingerprint", varchar(16)),
+        ("forced_plan_fingerprint", varchar(16)),
+    ]
+    rows = [
+        (
+            entry.query_id,
+            entry.query_hash,
+            entry.query_text,
+            entry.execution_count,
+            len(entry.plans),
+            entry.active_fingerprint,
+            entry.forced_fingerprint,
+        )
+        for entry in engine.query_store.queries()
+    ]
+    return columns, rows
+
+
+def _query_store_plan(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per captured (query, plan fingerprint) pair."""
+    columns: Columns = [
+        ("query_id", INT),
+        ("plan_id", INT),
+        ("plan_fingerprint", varchar(16)),
+        ("is_active", INT),
+        ("is_forced", INT),
+        ("first_execution", BIGINT),
+        ("last_execution", BIGINT),
+        ("plan_shape", varchar()),
+    ]
+    rows = []
+    for entry in engine.query_store.queries():
+        for fingerprint, plan_entry in entry.plans.items():
+            rows.append(
+                (
+                    entry.query_id,
+                    plan_entry.plan_id,
+                    fingerprint,
+                    1 if fingerprint == entry.active_fingerprint else 0,
+                    1 if fingerprint == entry.forced_fingerprint else 0,
+                    plan_entry.first_execution,
+                    plan_entry.last_execution,
+                    plan_entry.shape,
+                )
+            )
+    return columns, rows
+
+
+def _query_store_runtime_stats(engine: Any) -> tuple[Columns, list[tuple]]:
+    """Aggregated execution intervals per (query, plan).  Latency is
+    wall-clock elapsed + simulated network ms (the modeled end-to-end
+    time of a statement over the simulated fabric)."""
+    columns: Columns = [
+        ("query_id", INT),
+        ("plan_id", INT),
+        ("plan_fingerprint", varchar(16)),
+        ("execution_count", BIGINT),
+        ("mean_latency_ms", FLOAT),
+        ("recent_mean_latency_ms", FLOAT),
+        ("last_latency_ms", FLOAT),
+        ("min_latency_ms", FLOAT),
+        ("max_latency_ms", FLOAT),
+        ("total_elapsed_ms", FLOAT),
+        ("total_simulated_ms", FLOAT),
+        ("total_rows", BIGINT),
+        ("total_bytes", BIGINT),
+        ("total_round_trips", BIGINT),
+        ("total_retries", BIGINT),
+        ("total_replans", BIGINT),
+        ("partial_count", BIGINT),
+    ]
+    rows = []
+    for entry in engine.query_store.queries():
+        for fingerprint, stats in entry.stats.items():
+            plan_entry = entry.plans[fingerprint]
+            rows.append(
+                (
+                    entry.query_id,
+                    plan_entry.plan_id,
+                    fingerprint,
+                    stats.execution_count,
+                    stats.mean_latency_ms,
+                    stats.recent_mean_latency_ms,
+                    stats.last_latency_ms,
+                    stats.min_latency_ms if stats.execution_count else 0.0,
+                    stats.max_latency_ms,
+                    stats.total_elapsed_ms,
+                    stats.total_simulated_ms,
+                    stats.total_rows,
+                    stats.total_bytes,
+                    stats.total_round_trips,
+                    stats.total_retries,
+                    stats.total_replans,
+                    stats.partial_count,
+                )
+            )
+    return columns, rows
+
+
+def _query_store_regressions(engine: Any) -> tuple[Columns, list[tuple]]:
+    """Queries whose active plan changed and got slower (worst first)."""
+    columns: Columns = [
+        ("query_id", INT),
+        ("query_hash", varchar(16)),
+        ("query_text", varchar()),
+        ("prior_plan_fingerprint", varchar(16)),
+        ("active_plan_fingerprint", varchar(16)),
+        ("prior_mean_latency_ms", FLOAT),
+        ("active_mean_latency_ms", FLOAT),
+        ("regression_ratio", FLOAT),
+    ]
+    rows = [
+        (
+            regression.query_id,
+            regression.query_hash,
+            regression.query_text,
+            regression.prior_fingerprint,
+            regression.active_fingerprint,
+            regression.prior_mean_latency_ms,
+            regression.active_mean_latency_ms,
+            regression.ratio,
+        )
+        for regression in engine.query_store.regressed_queries()
+    ]
+    return columns, rows
+
+
 _VIEWS = {
     "dm_exec_connections": _dm_exec_connections,
     "dm_exec_query_stats": _dm_exec_query_stats,
     "dm_os_performance_counters": _dm_os_performance_counters,
     "dm_server_health": _dm_server_health,
+    "query_store_query": _query_store_query,
+    "query_store_plan": _query_store_plan,
+    "query_store_runtime_stats": _query_store_runtime_stats,
+    "query_store_regressions": _query_store_regressions,
 }
 
 

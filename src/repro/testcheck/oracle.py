@@ -13,6 +13,9 @@ row-for-row (as a collation-aware multiset):
                are fetched whole and all logic runs locally
 ``faulted``    same topology, plus a seeded FaultInjector on every
                channel and a retry policy that must mask the faults
+``traced``     same topology as ``distributed``, with hierarchical
+               query tracing AND the Query Store enabled — observers
+               must never change answers (no observer effect)
 =============  ========================================================
 
 The paper's claim under test: DHQP's remote rules participate in
@@ -55,7 +58,7 @@ from repro.types.collation import DEFAULT_COLLATION
 from repro.types.intervals import SortKey
 
 #: configuration names, in the order they run
-CONFIGS = ("local", "distributed", "ablated", "faulted")
+CONFIGS = ("local", "distributed", "ablated", "faulted", "traced")
 
 
 def _stable_hash(text: str) -> int:
@@ -151,6 +154,11 @@ def build_world(
     local = engines["local"]
     if optimizer_options is not None:
         local.optimizer.options = optimizer_options
+    if config == "traced":
+        # the observer-effect oracle: full observability on, results
+        # must still match the untraced reference row-for-row
+        local.tracing_enabled = True
+        local.query_store_enabled = True
 
     channels: dict[str, NetworkChannel] = {}
     if distributed:
@@ -340,6 +348,7 @@ class Mismatch:
         reference_rows: list[tuple],
         actual_rows: list[tuple],
         network_by_config: Optional[dict[str, dict]] = None,
+        trace_payload: Optional[dict] = None,
     ):
         self.case_id = case_id
         #: 'rows' (multiset differs), 'order' (ORDER BY violated),
@@ -356,6 +365,10 @@ class Mismatch:
         #: trips/fast-fails per server) — whether a config was retrying
         #: or fast-failing is often the whole story of a mismatch
         self.network_by_config = network_by_config or {}
+        #: the traced configuration's span tree (QueryTrace.as_dict()),
+        #: when that configuration got far enough to produce one — CI
+        #: writes it next to the mismatch report as a trace artifact
+        self.trace_payload = trace_payload
 
     def describe(self) -> str:
         lines = [
@@ -482,6 +495,12 @@ class DifferentialRunner:
                 if result.network
             }
 
+        def traced_trace() -> Optional[dict]:
+            result = results.get("traced")
+            if result is not None and result.trace is not None:
+                return result.trace.as_dict()
+            return None
+
         for name, world in worlds.items():
             if name == "faulted":
                 # per-case deterministic fault stream, independent of
@@ -501,6 +520,7 @@ class DifferentialRunner:
                     results.get("local").rows if "local" in results else [],
                     [],
                     network_by_config=networks(),
+                    trace_payload=traced_trace(),
                 )
 
         reference = results["local"]
@@ -515,6 +535,7 @@ class DifferentialRunner:
                     sql_by_config, explains(),
                     reference.rows, actual.rows,
                     network_by_config=networks(),
+                    trace_payload=traced_trace(),
                 )
         if query.order_keys:
             for name, result in results.items():
@@ -526,6 +547,7 @@ class DifferentialRunner:
                         sql_by_config, explains(),
                         reference.rows, result.rows,
                         network_by_config=networks(),
+                    trace_payload=traced_trace(),
                     )
         if partial_world is not None:
             try:
@@ -538,6 +560,7 @@ class DifferentialRunner:
                     sql_by_config, explains(),
                     reference.rows, [],
                     network_by_config=networks(),
+                    trace_payload=traced_trace(),
                 )
             degraded = results["partial"]
             if not is_sub_multiset(degraded.rows, reference.rows):
@@ -549,6 +572,7 @@ class DifferentialRunner:
                     sql_by_config, explains(),
                     reference.rows, degraded.rows,
                     network_by_config=networks(),
+                    trace_payload=traced_trace(),
                 )
         return None
 

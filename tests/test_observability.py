@@ -313,6 +313,10 @@ class TestSystemViews:
             "dm_exec_query_stats",
             "dm_os_performance_counters",
             "dm_server_health",
+            "query_store_plan",
+            "query_store_query",
+            "query_store_regressions",
+            "query_store_runtime_stats",
         )
 
     def test_dm_exec_connections_live_totals(self, world):
@@ -374,3 +378,169 @@ class TestSystemViews:
         for i in range(25):
             local.execute(f"SELECT id FROM t WHERE id = {i}")
         assert len(local.query_stats) <= 10
+
+
+# ----------------------------------------------------------------------
+# hierarchical distributed spans
+# ----------------------------------------------------------------------
+
+class TestHierarchicalSpans:
+    def _traced(self, world, sql=PAPER_SQL):
+        local, __, __c = world
+        local.tracing_enabled = True
+        result = local.execute(sql)
+        assert result.trace is not None
+        return local, result
+
+    def test_span_ids_and_parentage(self, world):
+        __, result = self._traced(world)
+        trace = result.trace
+        spans = trace.spans()
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))  # unique identities
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id
+
+    def test_operator_spans_mirror_plan_tree(self, world):
+        __, result = self._traced(world)
+        trace = result.trace
+        operators = trace.spans("operator")
+        labels = {s.attrs["operator"] for s in operators}
+        plan_ops = set()
+
+        def walk(node):
+            plan_ops.add(type(node).__name__)
+            for child in node.children:
+                walk(child)
+
+        walk(result.plan)
+        assert labels == plan_ops
+        # the root operator nests under the engine's execute phase span
+        execute_span = next(s for s in trace.spans() if s.name == "execute")
+        roots = [
+            s for s in operators if s.parent_id == execute_span.span_id
+        ]
+        assert len(roots) == 1
+        assert roots[0].attrs["operator"] == type(result.plan).__name__
+
+    def test_remote_commands_nest_under_operators(self, world):
+        __, result = self._traced(world)
+        trace = result.trace
+        by_id = {s.span_id: s for s in trace.spans()}
+        remote = trace.remote_command_spans()
+        assert remote  # the paper query ships work to remote0
+        for span in remote:
+            assert span.attrs["server"] == "remote0"
+            parent = by_id[span.parent_id]
+            assert parent.name in ("operator", "bind", "optimize")
+            for attr in ("retries", "backoff_ms", "breaker_fast_fails",
+                         "round_trips"):
+                assert attr in span.attrs
+
+    def test_span_network_ms_reconciles_with_result(self, world):
+        __, result = self._traced(world)
+        trace = result.trace
+        total_simulated = sum(
+            d["simulated_ms"] for d in result.network.values()
+        )
+        # the execute phase span inclusively carries every charge made
+        # while the statement ran
+        execute_span = next(s for s in trace.spans() if s.name == "execute")
+        assert execute_span.net_ms == pytest.approx(total_simulated)
+        # remote rowsets carry their own (non-zero) network time
+        query_spans = [
+            s for s in trace.remote_command_spans()
+            if s.attrs["operation"].startswith("query:")
+        ]
+        assert query_spans
+        assert sum(s.net_ms for s in query_spans) > 0
+        for span in trace.spans():
+            assert span.duration_ms >= 0.0
+
+    def test_retry_counts_reconcile_under_faults(self, world):
+        from repro import FaultInjector, RetryPolicy
+
+        local, __, channel = world
+        local.execute(PAPER_SQL)  # warm metadata fault-free
+        local.tracing_enabled = True
+        channel.fault_injector = FaultInjector(seed=7, transient_rate=0.4)
+        local.linked_server("remote0").retry_policy = RetryPolicy(
+            max_attempts=12, base_backoff_ms=0.5, max_backoff_ms=4.0
+        )
+        result = local.execute(PAPER_SQL)
+        trace = result.trace
+        network_retries = sum(
+            d["retries"] for d in result.network.values()
+        )
+        span_retries = sum(
+            s.attrs["retries"] for s in trace.remote_command_spans()
+        )
+        assert network_retries > 0
+        assert span_retries == network_retries
+        span_backoff = sum(
+            s.attrs["backoff_ms"] for s in trace.remote_command_spans()
+        )
+        total_backoff = sum(
+            d["backoff_ms"] for d in result.network.values()
+        )
+        assert span_backoff == pytest.approx(total_backoff, abs=0.01)
+
+    def test_breaker_fast_fail_lands_in_span(self):
+        from repro.errors import CircuitOpenError
+
+        local = Engine("local")
+        remote = ServerInstance("r0")
+        remote.execute("CREATE TABLE t (id int)")
+        local.add_linked_server(
+            "r0", remote, NetworkChannel("wan", latency_ms=1.0)
+        )
+        server = local.linked_server("r0")
+        trace = QueryTrace("manual")
+        server.channel.trace = trace
+        local.health.breaker("r0").force_open()
+        with pytest.raises(CircuitOpenError):
+            server.run_with_retry(lambda: None, description="probe")
+        server.channel.trace = None
+        spans = trace.remote_command_spans()
+        assert len(spans) == 1
+        assert spans[0].attrs["breaker_fast_fails"] == 1
+        assert spans[0].attrs["round_trips"] == 0
+
+    def test_point_events_carry_current_span_id(self, world):
+        __, result = self._traced(world)
+        trace = result.trace
+        remote_events = [
+            e for e in trace.events if e.name == "remote_query"
+        ]
+        assert remote_events
+        span_ids = {s.span_id for s in trace.spans()}
+        for event in remote_events:
+            assert event.span_id in span_ids
+
+    def test_explain_analyze_annotates_remote_operators(self, world):
+        local, __, __c = world
+        result = local.execute("EXPLAIN ANALYZE " + PAPER_SQL)
+        text = "\n".join(row[0] for row in result.rows)
+        assert "[remote remote0:" in text
+        assert "retries=0" in text
+        assert "net=" in text
+
+    def test_tracereport_renders_span_tree(self, world):
+        import json as json_mod
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "tools")
+        )
+        import tracereport
+
+        __, result = self._traced(world)
+        payload = json_mod.loads(result.to_json())
+        lines = tracereport.render_payload(payload, include_events=True)
+        text = "\n".join(lines)
+        assert "== span tree ==" in text
+        assert "remote_command -> remote0" in text
+        assert "RemoteQuery" in text or "RemoteScan" in text

@@ -9,7 +9,11 @@ Fails (exit 1) when:
   ``docs/FAULT_MODEL.md`` is missing, or
 * ``README.md`` lacks a "Testing" section, or its link to
   ``docs/TESTING.md`` is missing, or ``docs/TESTING.md`` does not
-  document the oracle matrix and the seed-repro workflow.
+  document the oracle matrix and the seed-repro workflow, or
+* ``README.md`` lacks an "Observability" section, or its link to
+  ``docs/OBSERVABILITY.md`` is missing, or ``docs/OBSERVABILITY.md``
+  does not document the span model, the Query Store views, and plan
+  forcing.
 
 External links (http/https/mailto) and intra-page anchors are not
 checked — only the repo-relative ones we can verify offline.
@@ -58,6 +62,10 @@ def check_readme() -> list[str]:
         problems.append("README.md: missing a 'Testing' section")
     if "docs/TESTING.md" not in readme:
         problems.append("README.md: missing link to docs/TESTING.md")
+    if not re.search(r"^#+\s+Observability\b", readme, re.MULTILINE):
+        problems.append("README.md: missing an 'Observability' section")
+    if "docs/OBSERVABILITY.md" not in readme:
+        problems.append("README.md: missing link to docs/OBSERVABILITY.md")
     return problems
 
 
@@ -68,7 +76,8 @@ def check_testing_doc() -> list[str]:
     text = path.read_text(encoding="utf-8")
     problems = []
     # the oracle matrix: every configuration must be documented
-    for config in ("`local`", "`distributed`", "`ablated`", "`faulted`"):
+    for config in ("`local`", "`distributed`", "`ablated`", "`faulted`",
+                   "`traced`"):
         if config not in text:
             problems.append(
                 f"docs/TESTING.md: oracle matrix missing {config}"
@@ -80,12 +89,36 @@ def check_testing_doc() -> list[str]:
     return problems
 
 
+def check_observability_doc() -> list[str]:
+    path = ROOT / "docs" / "OBSERVABILITY.md"
+    if not path.exists():
+        return ["docs/OBSERVABILITY.md: missing"]
+    text = path.read_text(encoding="utf-8")
+    problems = []
+    # the span model and the full query-store DMV surface must stay
+    # documented
+    for needle in (
+        "remote_command",
+        "sys.query_store_query",
+        "sys.query_store_plan",
+        "sys.query_store_runtime_stats",
+        "sys.query_store_regressions",
+        "force_plan",
+        "plan fingerprint",
+        "tools/tracereport.py",
+    ):
+        if needle not in text:
+            problems.append(f"docs/OBSERVABILITY.md: missing '{needle}'")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in markdown_files():
         problems += check_links(path)
     problems += check_readme()
     problems += check_testing_doc()
+    problems += check_observability_doc()
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:

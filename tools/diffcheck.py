@@ -3,8 +3,12 @@
 
 Runs the multi-oracle harness over seeded random federated workloads:
 every generated query executes under the all-local reference, the full
-distributed optimizer, the remote-rules-ablated optimizer, and a
-fault-injected configuration with retries — and all four must agree.
+distributed optimizer, the remote-rules-ablated optimizer, a
+fault-injected configuration with retries, and a fully-traced
+configuration (hierarchical spans + Query Store on) — and all five
+must agree.  On mismatches, the traced configuration's span tree is
+written alongside the report (raw JSON + rendered), so the failure
+artifact carries the distributed execution timeline.
 
 Usage::
 
@@ -22,11 +26,15 @@ mismatch (or execution error) is found.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import tracereport  # noqa: E402
 
 from repro.testcheck.oracle import (  # noqa: E402
     DiffReport,
@@ -42,6 +50,26 @@ def _write_reports(out_dir: Path, report: DiffReport) -> None:
         path = out_dir / f"mismatch_{i:03d}_case_{name}.txt"
         path.write_text(mismatch.describe() + "\n", encoding="utf-8")
         print(f"diffcheck: wrote {path}", file=sys.stderr)
+        if mismatch.trace_payload is not None:
+            # the traced configuration's span tree, as both raw JSON and
+            # a rendered report — CI uploads these as artifacts
+            trace_path = out_dir / f"mismatch_{i:03d}_case_{name}_trace.json"
+            trace_path.write_text(
+                json.dumps(mismatch.trace_payload, indent=2, default=str)
+                + "\n",
+                encoding="utf-8",
+            )
+            rendered = tracereport.render_span_tree(
+                mismatch.trace_payload, include_events=True
+            )
+            spans_path = out_dir / f"mismatch_{i:03d}_case_{name}_spans.txt"
+            spans_path.write_text(
+                "\n".join(rendered) + "\n", encoding="utf-8"
+            )
+            print(
+                f"diffcheck: wrote {trace_path} and {spans_path}",
+                file=sys.stderr,
+            )
 
 
 def main() -> int:
