@@ -46,6 +46,7 @@ class CostModel:
         remote_fixed_ms: float = 1.0,
         health_open_penalty_ms: float = 500.0,
         health_half_open_penalty_ms: float = 25.0,
+        exchange_branch_overhead_ms: float = 0.05,
     ):
         self.cpu_row_ms = cpu_row_ms
         self.hash_build_row_ms = hash_build_row_ms
@@ -62,6 +63,10 @@ class CostModel:
         #: (a probe may still fail); closed members cost nothing extra
         self.health_open_penalty_ms = health_open_penalty_ms
         self.health_half_open_penalty_ms = health_half_open_penalty_ms
+        #: per-branch startup/teardown cost of a parallel exchange
+        #: (thread + queue plumbing); keeps DOP>1 from beating a serial
+        #: Concat on all-local unions where there is nothing to hide
+        self.exchange_branch_overhead_ms = exchange_branch_overhead_ms
 
     # -- local operators ------------------------------------------------------
     def scan(self, rows: float) -> float:
@@ -109,6 +114,24 @@ class CostModel:
 
     def fulltext_lookup(self, match_estimate: float) -> float:
         return 0.5 + match_estimate * self.cpu_row_ms
+
+    def parallel_union(self, branch_costs: list, dop: int) -> float:
+        """Cost of running UNION ALL branches on a ``dop``-worker
+        exchange: the critical path of a longest-processing-time
+        assignment of branch costs onto the worker slots, plus a small
+        per-branch exchange overhead.
+
+        This is where the optimizer credits latency hiding on slow
+        links — independent remote branches overlap, so the exchange
+        pays for the busiest worker, not the sum (the heterogeneous-
+        machines scheduling model from PAPERS.md)."""
+        slots = [0.0] * max(1, min(int(dop), len(branch_costs)))
+        for cost in sorted(branch_costs, reverse=True):
+            index = min(range(len(slots)), key=slots.__getitem__)
+            slots[index] += cost
+        return max(slots) + self.exchange_branch_overhead_ms * len(
+            branch_costs
+        )
 
     def health_penalty(self, state: str) -> float:
         """Extra cost for touching a member in breaker state ``state``

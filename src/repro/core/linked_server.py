@@ -13,6 +13,7 @@ metadata is cached per schema version; delayed schema validation
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Optional
 
 from repro.errors import (
@@ -131,6 +132,9 @@ class LinkedServer:
             datasource.initialize()
         self._session: Optional[Session] = None
         self._table_cache: Dict[str, RemoteTableInfo] = {}
+        #: guards the metadata cache and the lazily created shared
+        #: session — parallel exchange workers may first-touch both
+        self._cache_lock = threading.RLock()
         #: retry/backoff policy for every remote operation on this server
         self.retry_policy = retry_policy or RetryPolicy()
         #: the owning engine's HealthRegistry (set at registration);
@@ -251,9 +255,10 @@ class LinkedServer:
 
     @property
     def session(self) -> Session:
-        if self._session is None:
-            self._session = self.datasource.create_session()
-        return self._session
+        with self._cache_lock:
+            if self._session is None:
+                self._session = self.datasource.create_session()
+            return self._session
 
     def create_session(self) -> Session:
         """A fresh session (DML wants its own transactional scope)."""
@@ -279,15 +284,17 @@ class LinkedServer:
         check.
         """
         key = (database.lower() if database else None, table_name.lower())
-        if not refresh and key in self._table_cache:
-            return self._table_cache[key]
+        with self._cache_lock:
+            if not refresh and key in self._table_cache:
+                return self._table_cache[key]
         try:
             info = self.run_with_retry(
                 lambda: self._discover(table_name, database),
                 description=f"table_info:{table_name}",
             )
         except ServerUnavailableError:
-            cached = self._table_cache.get(key)
+            with self._cache_lock:
+                cached = self._table_cache.get(key)
             if allow_stale and cached is not None:
                 channel = self.channel
                 if channel is not None:
@@ -298,7 +305,8 @@ class LinkedServer:
                     )
                 return cached
             raise
-        self._table_cache[key] = info
+        with self._cache_lock:
+            self._table_cache[key] = info
         return info
 
     def _discover(
@@ -446,7 +454,8 @@ class LinkedServer:
         """Re-read the remote schema version; raises when the cached
         plan was compiled against a stale schema."""
         key = (database.lower() if database else None, table_name.lower())
-        cached = self._table_cache.get(key)
+        with self._cache_lock:
+            cached = self._table_cache.get(key)
         if cached is None:
             return
         try:
@@ -465,16 +474,21 @@ class LinkedServer:
                 "recompile the statement"
             )
         # keep the fresh copy cached
-        self._table_cache[key] = fresh
+        with self._cache_lock:
+            self._table_cache[key] = fresh
 
     def invalidate_metadata(
         self, table_name: Optional[str] = None, database: Optional[str] = None
     ) -> None:
-        if table_name is None:
-            self._table_cache.clear()
-        else:
-            key = (database.lower() if database else None, table_name.lower())
-            self._table_cache.pop(key, None)
+        with self._cache_lock:
+            if table_name is None:
+                self._table_cache.clear()
+            else:
+                key = (
+                    database.lower() if database else None,
+                    table_name.lower(),
+                )
+                self._table_cache.pop(key, None)
 
     def __repr__(self) -> str:
         return f"LinkedServer({self.name} -> {self.datasource.provider_name})"

@@ -215,6 +215,11 @@ class Optimizer:
         #: before exploration when optimize() is given a query key; a
         #: pinned plan short-circuits the whole search.
         self.plan_pins: Optional[Any] = None
+        #: session degree of parallelism (``SET PARALLEL_DOP n``); at 1
+        #: no exchange operators are ever considered, at >1 UNION ALL
+        #: branches that touch remote servers may be implemented as a
+        #: Gather/GatherMerge exchange whose cost credits latency hiding
+        self.parallel_dop: int = 1
 
     def normalize_options(self) -> NormalizeOptions:
         """The normalization configuration this optimizer runs under —
@@ -439,6 +444,38 @@ class Optimizer:
             node.est_rows = min(float(op.count), child.est_rows)
             node.cost = child.cost + node.est_rows * self.cost_model.cpu_row_ms
             return node
+        if isinstance(op, UnionAll) and self.parallel_dop > 1:
+            # ordered parallel union: require the sort from every branch
+            # (mapped through its branch map) and merge on the consumer
+            children: list[P.PhysicalOp] = []
+            for child_group, branch_map in zip(expr.children, op.branch_maps):
+                child_required = []
+                for cid, ascending in required:
+                    mapped = branch_map.get(cid)
+                    if mapped is None:
+                        return None
+                    child_required.append((mapped, ascending))
+                children.append(
+                    self._optimize_group(child_group, tuple(child_required))
+                )
+            if len(children) < 2:
+                return None
+            if sum(1 for c in children if _contains_remote(c)) < 2:
+                return None
+            keys = [SortKeySpec(cid, ascending) for cid, ascending in required]
+            node = P.GatherMerge(
+                children, op.output_defs, op.branch_maps, keys,
+                self.parallel_dop,
+            )
+            node.est_rows = props.cardinality
+            node.cost = (
+                self.cost_model.parallel_union(
+                    [c.cost for c in children], self.parallel_dop
+                )
+                + self.cost_model.project(props.cardinality, 1)
+                + props.cardinality * self.cost_model.cpu_row_ms
+            )
+            return node
         return None
 
     def _enforce_sort(
@@ -484,7 +521,22 @@ class Optimizer:
             node.cost = sum(c.cost for c in children) + self.cost_model.project(
                 props.cardinality, 1
             )
-            return [node]
+            alternatives = [node]
+            if (
+                self.parallel_dop > 1
+                and len(children) >= 2
+                and sum(1 for c in children if _contains_remote(c)) >= 2
+            ):
+                gather = P.Gather(
+                    children, op.output_defs, op.branch_maps,
+                    self.parallel_dop,
+                )
+                gather.est_rows = props.cardinality
+                gather.cost = self.cost_model.parallel_union(
+                    [c.cost for c in children], self.parallel_dop
+                ) + self.cost_model.project(props.cardinality, 1)
+                alternatives.append(gather)
+            return alternatives
         if isinstance(op, Values):
             node = P.ConstScan(op.rows, op.column_defs)
             node.est_rows = float(len(op.rows))
@@ -1040,6 +1092,19 @@ def _sort_satisfies(
     provided: tuple[tuple[int, bool], ...], required: RequiredSort
 ) -> bool:
     return provided[: len(required)] == tuple(required)
+
+
+def _contains_remote(plan: P.PhysicalOp) -> bool:
+    """True when any operator in ``plan`` talks to a linked server —
+    only such branches have network latency an exchange can hide."""
+    return any(
+        isinstance(
+            node,
+            (P.RemoteScan, P.RemoteRange, P.RemoteQuery,
+             P.ParameterizedRemoteJoin),
+        )
+        for node in plan.walk()
+    )
 
 
 def _split_equi(

@@ -54,6 +54,16 @@ class PhysicalOp:
         """
         return ()
 
+    def fingerprint_name(self) -> str:
+        """Operator name used in plan fingerprints.
+
+        Defaults to the class name; parallel exchange operators report
+        their *serial* shape (``Gather`` → ``Concat``) so fingerprints
+        ignore the degree of parallelism — toggling ``PARALLEL_DOP``
+        must not read as a plan regression in the Query Store.
+        """
+        return type(self).__name__
+
     @property
     def rescan_cost(self) -> float:
         """Cost of producing the rows again (re-open).  Spools override."""
@@ -711,6 +721,66 @@ class Concat(PhysicalOp):
         return f"Concat({len(self.children)} branches, rows={self.est_rows:.1f}, cost={self.cost:.3f})"
 
 
+class Gather(Concat):
+    """Parallel UNION ALL (the Volcano exchange operator): branches run
+    concurrently on a worker pool of degree ``dop`` and rows surface in
+    arrival order.  Row semantics are identical to :class:`Concat`, and
+    so is the fingerprint — parallelism is an execution detail, not a
+    plan identity."""
+
+    def __init__(
+        self,
+        children: Sequence[PhysicalOp],
+        output_defs: Sequence[ColumnDef],
+        branch_maps: Sequence[dict[ColumnId, ColumnId]],
+        dop: int,
+    ):
+        super().__init__(children, output_defs, branch_maps)
+        self.dop = int(dop)
+
+    def fingerprint_name(self) -> str:
+        return "Concat"
+
+    def __repr__(self) -> str:
+        return (
+            f"Gather(dop={self.dop}, {len(self.children)} branches, "
+            f"rows={self.est_rows:.1f}, cost={self.cost:.3f})"
+        )
+
+
+class GatherMerge(Concat):
+    """Order-preserving parallel UNION ALL: each branch arrives sorted
+    on ``keys`` and a k-way merge keeps the global order without a full
+    blocking sort.  The merge strategy is part of the plan's identity
+    (its atoms carry the key directions, mirroring ``PhysicalSort``)
+    but the degree of parallelism is not."""
+
+    def __init__(
+        self,
+        children: Sequence[PhysicalOp],
+        output_defs: Sequence[ColumnDef],
+        branch_maps: Sequence[dict[ColumnId, ColumnId]],
+        keys: Sequence[SortKeySpec],
+        dop: int,
+    ):
+        super().__init__(children, output_defs, branch_maps)
+        self.keys = tuple(keys)
+        self.dop = int(dop)
+
+    def provided_sort(self) -> tuple[tuple[ColumnId, bool], ...]:
+        return tuple((k.cid, k.ascending) for k in self.keys)
+
+    def fingerprint_atoms(self) -> tuple:
+        return (len(self.children),) + tuple(k.ascending for k in self.keys)
+
+    def __repr__(self) -> str:
+        return (
+            f"GatherMerge(dop={self.dop}, {len(self.children)} branches, "
+            f"{len(self.keys)} keys, rows={self.est_rows:.1f}, "
+            f"cost={self.cost:.3f})"
+        )
+
+
 # ----------------------------------------------------------------------
 # plan fingerprinting (Query Store hook)
 # ----------------------------------------------------------------------
@@ -727,7 +797,7 @@ def plan_shape(plan: PhysicalOp) -> str:
     """
     atoms = "".join(f" {atom!r}" for atom in plan.fingerprint_atoms())
     inner = "".join(f" {plan_shape(child)}" for child in plan.children)
-    return f"({type(plan).__name__}{atoms}{inner})"
+    return f"({plan.fingerprint_name()}{atoms}{inner})"
 
 
 def plan_fingerprint(plan: PhysicalOp) -> str:

@@ -104,6 +104,12 @@ class QueryResult:
         self.partial: Optional[PartialResultsInfo] = None
         #: bounded mid-query re-optimizations taken after a member died
         self.replans: int = 0
+        #: simulated network ms hidden by parallel exchanges (0.0 when
+        #: the plan had none); elapsed simulated time for a statement is
+        #: sum(network simulated_ms) - parallel_saved_ms
+        self.parallel_saved_ms: float = 0.0
+        #: highest exchange degree of parallelism the plan actually used
+        self.dop: int = 1
 
     @property
     def is_partial(self) -> bool:
@@ -132,6 +138,9 @@ class QueryResult:
             payload["partial"] = self.partial.as_dict()
         if self.replans:
             payload["replans"] = self.replans
+        if self.dop > 1 or self.parallel_saved_ms:
+            payload["dop"] = self.dop
+            payload["parallel_saved_ms"] = round(self.parallel_saved_ms, 3)
         if self.profile is not None and self.plan is not None:
             payload["profile"] = self.profile.as_rows(self.plan)
         if self.trace is not None:
@@ -208,6 +217,10 @@ class ServerInstance:
         #: ServerUnavailableError (the member's breaker has tripped by
         #: then, so the second plan routes around it)
         self.replan_on_failure = True
+        #: SET PARALLEL_DOP n: session degree of parallelism for
+        #: exchange operators; 1 (default) keeps plans fully serial
+        self.parallel_dop = 1
+        self.optimizer.parallel_dop = 1
 
     # ==================================================================
     # linked servers & providers
@@ -586,10 +599,20 @@ class ServerInstance:
 
     def _execute_set(self, stmt: ast.SetStmt) -> QueryResult:
         if stmt.option == "partial_results":
+            if not isinstance(stmt.value, bool):
+                raise SqlError("SET PARTIAL_RESULTS expects ON or OFF")
             self.partial_results = stmt.value
             self.metrics.set_gauge(
                 "engine.partial_results", 1.0 if stmt.value else 0.0
             )
+            return QueryResult([], [], rowcount=0)
+        if stmt.option == "parallel_dop":
+            dop = stmt.value
+            if isinstance(dop, bool) or not isinstance(dop, int) or dop < 1:
+                raise SqlError("SET PARALLEL_DOP expects an integer >= 1")
+            self.parallel_dop = dop
+            self.optimizer.parallel_dop = dop
+            self.metrics.set_gauge("engine.parallel_dop", float(dop))
             return QueryResult([], [], rowcount=0)
         raise SqlError(f"unknown SET option {stmt.option.upper()!r}")
 
@@ -822,6 +845,8 @@ class ServerInstance:
         )
         result.profile = profiler
         result.replans = replans
+        result.parallel_saved_ms = ctx.parallel_saved_ms
+        result.dop = max(1, ctx.max_dop_used)
         if skipped:
             result.partial = PartialResultsInfo(skipped)
         return result

@@ -6,6 +6,18 @@ speak OLE DB: remote scans open rowsets, remote ranges drive
 IRowsetIndex + IRowsetLocate, remote queries execute ICommand text (and
 re-validate remote schema versions first — the *delayed schema
 validation* of Section 4.1.5).
+
+Concurrency contract: execution is single-threaded except under a
+``Gather``/``GatherMerge`` exchange (:mod:`repro.execution.exchange`),
+whose scheduler runs each input branch on a worker thread.  Every
+operator *under* an exchange branch is driven by exactly one worker, so
+operators themselves stay lock-free; shared statement state crossing
+the exchange boundary is synchronized at its source — the spool cache
+behind ``ExecutionContext.spool_lock``, telemetry counters behind an
+internal lock, circuit breakers / network stats / the query budget
+behind their own locks.  Exchange workers never touch the consumer's
+iterator; rows cross threads only through the scheduler's bounded
+queues.
 """
 
 from repro.execution.context import ExecutionContext

@@ -10,6 +10,7 @@ tests.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.algebra.expressions import Literal, ScalarExpr, ScalarSubquery
@@ -45,27 +46,40 @@ class ExecutionContext:
         self.spool_cache: Dict[Any, list] = (
             spool_cache if spool_cache is not None else {}
         )
+        #: guards spool_cache lookups/inserts — parallel exchange
+        #: workers may hit the same spool key concurrently
+        self.spool_lock = threading.Lock()
         #: observability recorders (all optional; None = off)
         self.profiler = profiler
         self.metrics = metrics
         self.trace = trace
         #: summary counters, maintained by the record_* hooks below
+        #: (guarded by _telemetry_lock: hooks fire from worker threads)
+        self._telemetry_lock = threading.Lock()
         self.rows_produced = 0
         self.remote_queries_executed = 0
         self.startup_filters_skipped = 0
         self.spool_rescans = 0
+        #: parallel-exchange accounting (record_gather): simulated ms
+        #: hidden by overlapping branches, and the highest DOP any
+        #: exchange actually ran at
+        self.parallel_saved_ms = 0.0
+        self.parallel_branches = 0
+        self.max_dop_used = 1
 
     # ------------------------------------------------------------------
     # telemetry hooks (the single reporting path for all operators)
     # ------------------------------------------------------------------
     def record_rows_produced(self, count: int) -> None:
-        self.rows_produced += count
+        with self._telemetry_lock:
+            self.rows_produced += count
         if self.metrics is not None:
             self.metrics.increment("executor.rows_produced", count)
 
     def record_startup_skip(self, plan: Any) -> None:
         """A startup filter pruned its subtree without opening it."""
-        self.startup_filters_skipped += 1
+        with self._telemetry_lock:
+            self.startup_filters_skipped += 1
         if self.metrics is not None:
             self.metrics.increment("executor.startup_filters_skipped")
         if self.profiler is not None:
@@ -79,7 +93,8 @@ class ExecutionContext:
         self, server_name: str, sql_text: Optional[str] = None
     ) -> None:
         """A SQL statement was shipped to a remote provider."""
-        self.remote_queries_executed += 1
+        with self._telemetry_lock:
+            self.remote_queries_executed += 1
         if self.metrics is not None:
             self.metrics.increment("executor.remote_queries")
         if self.trace is not None:
@@ -90,11 +105,37 @@ class ExecutionContext:
     def record_spool_rescan(self, plan: Any) -> None:
         """A spool served its materialization again without re-opening
         the child (Section 4.1.4)."""
-        self.spool_rescans += 1
+        with self._telemetry_lock:
+            self.spool_rescans += 1
         if self.metrics is not None:
             self.metrics.increment("executor.spool_rescans")
         if self.trace is not None:
             self.trace.event("spool_rescan", reason=plan.reason)
+
+    def record_gather(
+        self, dop: int, branches: int, saved_ms: float,
+        busiest_ms: float = 0.0,
+    ) -> None:
+        """A Gather/GatherMerge finished all branches.  ``saved_ms`` is
+        the simulated network time hidden by overlap: the sum of branch
+        times minus the critical path (busiest worker slot).  Called on
+        the consumer thread once per exchange execution."""
+        with self._telemetry_lock:
+            self.parallel_saved_ms += saved_ms
+            self.parallel_branches += branches
+            if dop > self.max_dop_used:
+                self.max_dop_used = dop
+        if self.metrics is not None:
+            self.metrics.increment("executor.parallel_branches", branches)
+            self.metrics.increment("executor.parallel_saved_ms", saved_ms)
+        if self.trace is not None:
+            self.trace.event(
+                "gather_complete",
+                dop=dop,
+                branches=branches,
+                saved_ms=round(saved_ms, 3),
+                busiest_ms=round(busiest_ms, 3),
+            )
 
     def resolve_scalar_subqueries(self, expr: ScalarExpr) -> ScalarExpr:
         """Replace ScalarSubquery nodes with their (once-evaluated)

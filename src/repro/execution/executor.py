@@ -9,6 +9,7 @@ from repro.algebra.expressions import ColumnId, ScalarExpr
 from repro.core import physical as P
 from repro.errors import ExecutionError
 from repro.execution.context import ExecutionContext
+from repro.execution.exchange import run_gather, run_gather_merge
 from repro.execution.joins import (
     run_hash_join,
     run_merge_join,
@@ -104,6 +105,11 @@ def _dispatch(plan: P.PhysicalOp, ctx: ExecutionContext) -> Iterator[Row]:
         return run_hash_aggregate(plan, ctx)
     if isinstance(plan, P.StreamAggregate):
         return run_stream_aggregate(plan, ctx)
+    # Gather/GatherMerge subclass Concat — dispatch them first
+    if isinstance(plan, P.Gather):
+        return run_gather(plan, ctx)
+    if isinstance(plan, P.GatherMerge):
+        return run_gather_merge(plan, ctx)
     if isinstance(plan, P.Concat):
         return _run_concat(plan, ctx)
     raise ExecutionError(f"no executor for {type(plan).__name__}")
@@ -171,11 +177,18 @@ def _run_spool(plan: P.Spool, ctx: ExecutionContext) -> Iterator[Row]:
     # stable key (not id(plan)) so a bounded replan after a mid-query
     # failure can reuse rows already spooled from a now-down member
     cache_key = plan.cache_key()
-    if cache_key not in ctx.spool_cache:
-        ctx.spool_cache[cache_key] = list(open_plan(plan.child, ctx))
+    with ctx.spool_lock:
+        cached = ctx.spool_cache.get(cache_key)
+    if cached is None:
+        # materialize outside the lock (the build may itself run
+        # remote traffic); racing parallel workers both build, the
+        # first insert wins and both read one consistent rowset
+        rows = list(open_plan(plan.child, ctx))
+        with ctx.spool_lock:
+            cached = ctx.spool_cache.setdefault(cache_key, rows)
     else:
         ctx.record_spool_rescan(plan)
-    return iter(ctx.spool_cache[cache_key])
+    return iter(cached)
 
 
 def _run_concat(plan: P.Concat, ctx: ExecutionContext) -> Iterator[Row]:

@@ -6,6 +6,14 @@ builds distributed partitioned views on top of the DHQP: helpers to
 define a partitioned view over member tables spread across servers,
 and DML that routes rows to the owning member by its CHECK-constraint
 domain, wrapped in a distributed transaction (MS DTC, Section 2).
+
+Concurrency contract: :func:`partition_members` holds no mutable state
+of its own — member metadata (CHECK-constraint domains, schema
+versions) is cached per linked server under that server's metadata
+lock, so parallel exchange workers scanning different members may
+trigger concurrent discovery safely.  Partitioned-view DML remains
+strictly single-threaded (fail-stop/atomic through the DTC); only read
+paths ever run under an exchange.
 """
 
 from repro.federation.partitioned_view import (

@@ -17,6 +17,7 @@ exactly once, whichever layer triggered it.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator, Optional, TYPE_CHECKING
 
 from repro.errors import (
@@ -34,6 +35,28 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: default per-row batch size for rowset streaming
 DEFAULT_BATCH_ROWS = 128
+
+#: per-thread charge accumulator for parallel workers (see
+#: :func:`attach_worker_charges`)
+_WORKER = threading.local()
+
+
+def attach_worker_charges(accumulator: list) -> None:
+    """Route every subsequent simulated-ms charge made on the calling
+    thread into ``accumulator[0]`` (in addition to normal accounting).
+
+    The exchange scheduler attaches a fresh one-element list per plan
+    branch so each branch's exact simulated time is known even when
+    several branches share a channel — the basis for the ``saved_ms``
+    latency-hiding credit.  Charges are counters, not sleeps, so this
+    is the only way to observe per-branch overlap."""
+    _WORKER.charges = accumulator
+
+
+def detach_worker_charges() -> None:
+    """Stop routing the calling thread's charges (see
+    :func:`attach_worker_charges`)."""
+    _WORKER.charges = None
 
 
 class NetworkStats:
@@ -149,6 +172,9 @@ class NetworkChannel:
         self.trace: Optional["QueryTrace"] = None
         #: current statement's timeout budget (attached by the engine)
         self.budget: Optional["QueryBudget"] = None
+        #: guards ``stats`` mutations — parallel workers may stream
+        #: through the same channel concurrently
+        self._lock = threading.RLock()
 
     # -- cost primitives ------------------------------------------------------
     def transfer_ms(self, nbytes: int) -> float:
@@ -172,7 +198,11 @@ class NetworkChannel:
     def _charge_ms(self, ms: float) -> None:
         """Add simulated time to the running totals and, when a
         statement budget is attached, draw it down (which may raise)."""
-        self.stats.simulated_ms += ms
+        with self._lock:
+            self.stats.simulated_ms += ms
+        charges = getattr(_WORKER, "charges", None)
+        if charges is not None:
+            charges[0] += ms
         if self.trace is not None:
             # attribute the charge to every open span so each level of
             # the span tree carries its inclusive network time
@@ -251,8 +281,9 @@ class NetworkChannel:
     ) -> None:
         """Account one retry: simulated backoff time + counters."""
         self._charge_ms(backoff_ms)
-        self.stats.retries += 1
-        self.stats.backoff_ms += backoff_ms
+        with self._lock:
+            self.stats.retries += 1
+            self.stats.backoff_ms += backoff_ms
         self._count("network.retries")
         self._count("network.backoff_ms", backoff_ms)
         self._trace_event(
@@ -282,12 +313,14 @@ class NetworkChannel:
         """Charge an outgoing command (SQL text) and one round trip."""
         nbytes = len(text.encode("utf-8"))
         if self.is_local:
-            self.stats.bytes_sent += nbytes
-            self.stats.round_trips += 1
+            with self._lock:
+                self.stats.bytes_sent += nbytes
+                self.stats.round_trips += 1
             return
         self._consult_injector()
-        self.stats.bytes_sent += nbytes
-        self.stats.round_trips += 1
+        with self._lock:
+            self.stats.bytes_sent += nbytes
+            self.stats.round_trips += 1
         self._charge_message(
             self.latency_ms + self.transfer_ms(nbytes) * self.slow_factor
         )
@@ -311,11 +344,13 @@ class NetworkChannel:
         for row in rows:
             if in_batch == 0:
                 self._consult_injector()
-                self.stats.round_trips += 1
+                with self._lock:
+                    self.stats.round_trips += 1
                 batch_cost = self.latency_ms
                 self._charge_ms(self.latency_ms)
             nbytes = self._row_bytes(row, schema)
-            self.stats.bytes_received += nbytes
+            with self._lock:
+                self.stats.bytes_received += nbytes
             row_cost = self.transfer_ms(nbytes) * self.slow_factor
             batch_cost += row_cost
             if (

@@ -12,6 +12,7 @@ every execution path.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Dict, Iterator, Union
 
@@ -123,6 +124,11 @@ class MetricsRegistry:
     def __init__(self, namespace: str = "engine"):
         self.namespace = namespace
         self._instruments: Dict[str, Instrument] = {}
+        #: guards instrument creation — parallel exchange workers may
+        #: first-touch the same counter concurrently; the increments
+        #: themselves stay unlocked (losing a racy add is tolerable,
+        #: losing an instrument to a double-create is not)
+        self._lock = threading.Lock()
 
     # -- instrument access (create on first use) ------------------------------
     def counter(self, name: str) -> Counter:
@@ -137,9 +143,12 @@ class MetricsRegistry:
     def _get(self, name: str, cls) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = cls(name)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} is a {type(instrument).__name__}, "
                 f"not a {cls.__name__}"

@@ -22,11 +22,16 @@ channels charged while the span was current (a channel charge
 propagates to every span on the current stack, so parent spans
 accumulate their children's network time inclusively).
 
-The current-span context is an explicit stack.  Pipelined operators
-interleave their pulls, so the operator instrumentation re-enters its
-span around every ``next()`` — whatever runs inside a pull (a remote
-command, a retry backoff, a fault) is attributed to the operator that
-triggered it, not to whichever operator happened to open last.
+The current-span context is an explicit *per-thread* stack.  Pipelined
+operators interleave their pulls, so the operator instrumentation
+re-enters its span around every ``next()`` — whatever runs inside a
+pull (a remote command, a retry backoff, a fault) is attributed to the
+operator that triggered it, not to whichever operator happened to open
+last.  Parallel exchange workers run on their own (initially empty)
+stacks: each opens a ``parallel_branch`` span explicitly parented to
+the consumer-side exchange span (carrying ``parallelism`` / ``worker``
+/ ``branch`` attributes), so remote commands keep nesting correctly
+while concurrent branches never contaminate each other's attribution.
 
 Tracing is off by default.  The engine only allocates a QueryTrace when
 ``tracing_enabled`` is set, and every producer site is guarded by an
@@ -37,9 +42,13 @@ one attribute test per hook.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
+
+#: sentinel: "no parent override given" (None is a meaningful parent)
+_UNSET = object()
 
 
 class TraceEvent:
@@ -120,8 +129,23 @@ class QueryTrace:
         self.events: list[TraceEvent] = []
         self._started = time.perf_counter()
         self._next_span_id = 1
-        #: the current-span context: innermost span last
-        self._stack: list[SpanEvent] = []
+        #: span-id minting is the one cross-thread mutation that can
+        #: corrupt state; the event list itself relies on list.append
+        #: being atomic
+        self._id_lock = threading.Lock()
+        #: the current-span context is *per thread* (innermost span
+        #: last): parallel exchange workers each run their own span
+        #: stack, rooted at their ``parallel_branch`` span, so channel
+        #: charges on a worker attribute to that worker's branch only
+        self._tls = threading.local()
+
+    @property
+    def _stack(self) -> list[SpanEvent]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
 
     def _now_ms(self) -> float:
         return (time.perf_counter() - self._started) * 1000.0
@@ -141,21 +165,32 @@ class QueryTrace:
     def current_span_id(self) -> Optional[int]:
         return self._stack[-1].span_id if self._stack else None
 
-    def begin_span(self, name: str, **attrs: Any) -> SpanEvent:
+    def begin_span(
+        self, name: str, *, parent_span_id: Any = _UNSET, **attrs: Any
+    ) -> SpanEvent:
         """Open a span under the current one and make it current.
 
         Prefer the :meth:`span` context manager; ``begin_span`` exists
         for scopes that cannot be expressed as a ``with`` block (the
         per-pull operator instrumentation re-enters its span manually).
+
+        ``parent_span_id`` overrides the default parentage (the calling
+        thread's current span): exchange workers start on an empty
+        stack and pass the consumer-side exchange span's id so branch
+        spans keep the plan tree's shape across threads.
         """
+        if parent_span_id is _UNSET:
+            parent_span_id = self.current_span_id
+        with self._id_lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
         span = SpanEvent(
             name,
             self._now_ms(),
             attrs,
-            span_id=self._next_span_id,
-            parent_id=self.current_span_id,
+            span_id=span_id,
+            parent_id=parent_span_id,
         )
-        self._next_span_id += 1
         self.events.append(span)
         self._stack.append(span)
         return span
@@ -176,7 +211,11 @@ class QueryTrace:
 
     def add_network_ms(self, ms: float) -> None:
         """Attribute simulated network time to every span on the
-        current stack (called by the channel's charging hook)."""
+        *calling thread's* stack (called by the channel's charging
+        hook).  Worker-thread charges reach only worker-side spans; the
+        exchange consumer mirrors each finished branch's total onto its
+        own stack, which keeps the execute-span invariant (net_ms ==
+        statement simulated_ms) without double counting."""
         for span in self._stack:
             span.net_ms += ms
 

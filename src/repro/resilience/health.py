@@ -27,6 +27,7 @@ and ``sys.dm_server_health`` renders its rows.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Optional
 
 from repro.errors import CircuitOpenError
@@ -38,16 +39,22 @@ HALF_OPEN = "half_open"
 
 
 class SimulatedClock:
-    """Deterministic time source for breaker intervals (simulated ms)."""
+    """Deterministic time source for breaker intervals (simulated ms).
 
-    __slots__ = ("now_ms",)
+    Thread-safe: parallel exchange workers share the engine's clock
+    through their breakers, so advances are locked (reads of ``now_ms``
+    are single attribute loads and need no lock)."""
+
+    __slots__ = ("now_ms", "_lock")
 
     def __init__(self, now_ms: float = 0.0):
         self.now_ms = float(now_ms)
+        self._lock = threading.Lock()
 
     def advance(self, ms: float) -> float:
-        self.now_ms += ms
-        return self.now_ms
+        with self._lock:
+            self.now_ms += ms
+            return self.now_ms
 
     def __repr__(self) -> str:
         return f"SimulatedClock({self.now_ms:.1f}ms)"
@@ -61,6 +68,11 @@ class CircuitBreaker:
     calls around every remote operation.  Only *final* outcomes count:
     a transient fault that a retry masked is a success; retries
     exhausted or a down server is a failure.
+
+    Thread-safe: concurrent exchange workers hitting the same member
+    drive one shared breaker, so every transition runs under a
+    reentrant lock — N workers discovering a down member concurrently
+    produce exactly one trip.
     """
 
     def __init__(
@@ -90,6 +102,7 @@ class CircuitBreaker:
         self.opened_at_ms: Optional[float] = None
         self.last_failure: Optional[str] = None
         self.last_failure_at_ms: Optional[float] = None
+        self._lock = threading.RLock()
 
     # -- state machine ------------------------------------------------------
     @property
@@ -108,20 +121,21 @@ class CircuitBreaker:
         elapsed: transition to half-open and admit the operation as a
         probe.  Closed/half-open: admit.
         """
-        if self.state != OPEN:
-            return
-        if self.clock.now_ms >= (self.next_probe_at_ms or 0.0):
-            self.state = HALF_OPEN
-            self._probe_successes = 0
-            self.probe_count += 1
-            self._emit(channel, "breaker_half_open", "health.probes",
+        with self._lock:
+            if self.state != OPEN:
+                return
+            if self.clock.now_ms >= (self.next_probe_at_ms or 0.0):
+                self.state = HALF_OPEN
+                self._probe_successes = 0
+                self.probe_count += 1
+                self._emit(channel, "breaker_half_open", "health.probes",
+                           operation=description)
+                return
+            self.fast_fails += 1
+            if channel is not None:
+                channel.stats.breaker_fast_fails += 1
+            self._emit(channel, "breaker_fast_fail", "health.fast_fails",
                        operation=description)
-            return
-        self.fast_fails += 1
-        if channel is not None:
-            channel.stats.breaker_fast_fails += 1
-        self._emit(channel, "breaker_fast_fail", "health.fast_fails",
-                   operation=description)
         error = CircuitOpenError(
             f"circuit for linked server {self.name!r} is open "
             f"(last failure: {self.last_failure}); next probe at "
@@ -132,19 +146,22 @@ class CircuitBreaker:
 
     def record_success(self, channel: Any = None) -> None:
         """One remote operation completed (possibly after retries)."""
-        self.consecutive_failures = 0
-        if self.state == HALF_OPEN:
-            self._probe_successes += 1
-            if self._probe_successes >= self.half_open_successes:
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self.state = CLOSED
+                    self.opened_at_ms = None
+                    self._emit(
+                        channel, "breaker_close", "health.breaker_closes"
+                    )
+            elif self.state == OPEN:
+                # a success while nominally open (e.g. another path
+                # raced the probe) is evidence enough to close
                 self.state = CLOSED
                 self.opened_at_ms = None
                 self._emit(channel, "breaker_close", "health.breaker_closes")
-        elif self.state == OPEN:
-            # a success while nominally open (e.g. another path raced
-            # the probe) is evidence enough to close
-            self.state = CLOSED
-            self.opened_at_ms = None
-            self._emit(channel, "breaker_close", "health.breaker_closes")
 
     def record_failure(
         self, error: Exception, channel: Any = None, definitive: bool = False
@@ -153,30 +170,37 @@ class CircuitBreaker:
         non-retryable error).  ``definitive`` (server-down) trips the
         breaker immediately; other failures count toward the threshold.
         """
-        self.consecutive_failures += 1
-        self.last_failure = f"{type(error).__name__}: {error}"
-        self.last_failure_at_ms = self.clock.now_ms
-        if self.state == HALF_OPEN:
-            self._trip(channel, reason="probe_failed")
-            return
-        if self.state == CLOSED and (
-            definitive or self.consecutive_failures >= self.failure_threshold
-        ):
-            self._trip(channel, reason="down" if definitive else "threshold")
+        with self._lock:
+            self.consecutive_failures += 1
+            self.last_failure = f"{type(error).__name__}: {error}"
+            self.last_failure_at_ms = self.clock.now_ms
+            if self.state == HALF_OPEN:
+                self._trip(channel, reason="probe_failed")
+                return
+            if self.state == CLOSED and (
+                definitive
+                or self.consecutive_failures >= self.failure_threshold
+            ):
+                self._trip(
+                    channel, reason="down" if definitive else "threshold"
+                )
 
     def force_open(self, reason: str = "forced", channel: Any = None) -> None:
         """Trip the breaker directly (tests, golden plans, operators)."""
-        self.last_failure = reason
-        self.last_failure_at_ms = self.clock.now_ms
-        self._trip(channel, reason=reason)
+        with self._lock:
+            self.last_failure = reason
+            self.last_failure_at_ms = self.clock.now_ms
+            self._trip(channel, reason=reason)
 
     def force_close(self) -> None:
-        self.state = CLOSED
-        self.consecutive_failures = 0
-        self.opened_at_ms = None
-        self._probe_successes = 0
+        with self._lock:
+            self.state = CLOSED
+            self.consecutive_failures = 0
+            self.opened_at_ms = None
+            self._probe_successes = 0
 
     def _trip(self, channel: Any, reason: str) -> None:
+        # always called with _lock held
         self.state = OPEN
         self.opened_at_ms = self.clock.now_ms
         self.trip_count += 1
@@ -230,20 +254,26 @@ class HealthRegistry:
         self.open_interval_ms = open_interval_ms
         self.half_open_successes = half_open_successes
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: guards breaker creation — workers may first-touch a member
+        #: concurrently and must agree on one breaker instance
+        self._lock = threading.Lock()
 
     def breaker(self, server_name: str) -> CircuitBreaker:
         """The breaker for one linked server (created on first use)."""
         key = server_name.lower()
         breaker = self._breakers.get(key)
         if breaker is None:
-            breaker = CircuitBreaker(
-                server_name,
-                self.clock,
-                failure_threshold=self.failure_threshold,
-                open_interval_ms=self.open_interval_ms,
-                half_open_successes=self.half_open_successes,
-            )
-            self._breakers[key] = breaker
+            with self._lock:
+                breaker = self._breakers.get(key)
+                if breaker is None:
+                    breaker = CircuitBreaker(
+                        server_name,
+                        self.clock,
+                        failure_threshold=self.failure_threshold,
+                        open_interval_ms=self.open_interval_ms,
+                        half_open_successes=self.half_open_successes,
+                    )
+                    self._breakers[key] = breaker
         return breaker
 
     def get(self, server_name: str) -> Optional[CircuitBreaker]:

@@ -19,6 +19,7 @@ retries against the same member.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
@@ -98,21 +99,27 @@ class QueryBudget:
     retry backoff) draws it down.  Exhaustion raises
     :class:`~repro.errors.RemoteTimeoutError` with
     ``budget_exhausted=True``, which retry loops treat as final.
+
+    Thread-safe: parallel exchange workers draw down one shared budget,
+    so accumulation is locked (the raise happens outside the lock).
     """
 
-    __slots__ = ("limit_ms", "spent_ms")
+    __slots__ = ("limit_ms", "spent_ms", "_lock")
 
     def __init__(self, limit_ms: float):
         self.limit_ms = float(limit_ms)
         self.spent_ms = 0.0
+        self._lock = threading.Lock()
 
     @property
     def remaining_ms(self) -> float:
         return max(0.0, self.limit_ms - self.spent_ms)
 
     def charge(self, ms: float) -> None:
-        self.spent_ms += ms
-        if self.spent_ms > self.limit_ms:
+        with self._lock:
+            self.spent_ms += ms
+            exhausted = self.spent_ms > self.limit_ms
+        if exhausted:
             error = RemoteTimeoutError(
                 f"query timeout budget of {self.limit_ms:g}ms exhausted "
                 f"({self.spent_ms:.2f}ms of simulated network time)"

@@ -370,14 +370,15 @@ class DropTableStmt(Statement):
 
 
 class SetStmt(Statement):
-    """``SET <option> ON|OFF`` — a session setting toggle.
+    """``SET <option> ON|OFF`` or ``SET <option> <integer>`` — a
+    session setting.
 
     The engine interprets the option name; the parser only validates
-    the shape.  Currently the sole recognized option is
-    ``PARTIAL_RESULTS``.
+    the shape.  Recognized options are ``PARTIAL_RESULTS`` (boolean)
+    and ``PARALLEL_DOP`` (integer degree of parallelism).
     """
 
-    def __init__(self, option: str, value: bool):
+    def __init__(self, option: str, value: "bool | int"):
         self.option = option.lower()
         self.value = value
 

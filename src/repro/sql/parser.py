@@ -132,18 +132,31 @@ class _Parser:
         )
 
     def set_statement(self) -> ast.SetStmt:
-        """``SET <option> ON|OFF`` — ``on`` is a reserved word (join
-        syntax), ``off`` lexes as a plain identifier."""
+        """``SET <option> ON|OFF`` or ``SET <option> <integer>`` —
+        ``on`` is a reserved word (join syntax), ``off`` lexes as a
+        plain identifier.  Integer-valued options (``PARALLEL_DOP n``)
+        take a bare numeric literal."""
         self.expect_keyword("set")
         option = self.expect_identifier()
+        value: bool | int
         if self.accept_keyword("on"):
             value = True
         elif self._accept_name("off"):
             value = False
+        elif self.peek().kind == "number":
+            token = self.next()
+            try:
+                value = int(token.value)
+            except ValueError:
+                raise ParseError(
+                    f"SET {option} expects an integer, got {token.value!r}",
+                    token.position,
+                )
         else:
             token = self.peek()
             raise ParseError(
-                f"expected ON or OFF, got {token.value!r}", token.position
+                f"expected ON, OFF or an integer, got {token.value!r}",
+                token.position,
             )
         return ast.SetStmt(option, value)
 

@@ -1,6 +1,6 @@
 """Multi-oracle differential execution.
 
-Every generated query runs under four configurations that must agree
+Every generated query runs under several configurations that must agree
 row-for-row (as a collation-aware multiset):
 
 =============  ========================================================
@@ -16,6 +16,9 @@ row-for-row (as a collation-aware multiset):
 ``traced``     same topology as ``distributed``, with hierarchical
                query tracing AND the Query Store enabled — observers
                must never change answers (no observer effect)
+``parallel``   same topology, ``SET PARALLEL_DOP 4`` — exchange
+               operators run remote branches on concurrent workers,
+               which must never change answers (DOP invariance)
 =============  ========================================================
 
 The paper's claim under test: DHQP's remote rules participate in
@@ -58,7 +61,9 @@ from repro.types.collation import DEFAULT_COLLATION
 from repro.types.intervals import SortKey
 
 #: configuration names, in the order they run
-CONFIGS = ("local", "distributed", "ablated", "faulted", "traced")
+CONFIGS = (
+    "local", "distributed", "ablated", "faulted", "traced", "parallel"
+)
 
 
 def _stable_hash(text: str) -> int:
@@ -183,6 +188,10 @@ def build_world(
             )
             channels[host] = channel
     _create_view(schema, local, host_for)
+    if config == "parallel":
+        # the DOP-invariance oracle: exchanges above remote branches,
+        # answers must still match the serial reference row-for-row
+        local.execute("SET PARALLEL_DOP 4")
 
     name_map = {}
     for table in schema.tables.values():

@@ -13,7 +13,11 @@ Fails (exit 1) when:
 * ``README.md`` lacks an "Observability" section, or its link to
   ``docs/OBSERVABILITY.md`` is missing, or ``docs/OBSERVABILITY.md``
   does not document the span model, the Query Store views, and plan
-  forcing.
+  forcing, or
+* ``README.md`` lacks an "Architecture" section, or its link to
+  ``docs/ARCHITECTURE.md`` is missing, or ``docs/ARCHITECTURE.md``
+  does not cover the module map, the life of a query, and the
+  parallel execution / threading model.
 
 External links (http/https/mailto) and intra-page anchors are not
 checked — only the repo-relative ones we can verify offline.
@@ -66,6 +70,10 @@ def check_readme() -> list[str]:
         problems.append("README.md: missing an 'Observability' section")
     if "docs/OBSERVABILITY.md" not in readme:
         problems.append("README.md: missing link to docs/OBSERVABILITY.md")
+    if not re.search(r"^#+\s+Architecture\b", readme, re.MULTILINE):
+        problems.append("README.md: missing an 'Architecture' section")
+    if "docs/ARCHITECTURE.md" not in readme:
+        problems.append("README.md: missing link to docs/ARCHITECTURE.md")
     return problems
 
 
@@ -77,7 +85,7 @@ def check_testing_doc() -> list[str]:
     problems = []
     # the oracle matrix: every configuration must be documented
     for config in ("`local`", "`distributed`", "`ablated`", "`faulted`",
-                   "`traced`"):
+                   "`traced`", "`parallel`"):
         if config not in text:
             problems.append(
                 f"docs/TESTING.md: oracle matrix missing {config}"
@@ -112,6 +120,31 @@ def check_observability_doc() -> list[str]:
     return problems
 
 
+def check_architecture_doc() -> list[str]:
+    path = ROOT / "docs" / "ARCHITECTURE.md"
+    if not path.exists():
+        return ["docs/ARCHITECTURE.md: missing"]
+    text = path.read_text(encoding="utf-8")
+    problems = []
+    # the module map, the end-to-end walkthrough, and the parallel
+    # execution / threading model must stay documented
+    for needle in (
+        "Module map",
+        "Life of a query",
+        "`repro.sql`",
+        "`repro.oledb`",
+        "Gather",
+        "GatherMerge",
+        "PARALLEL_DOP",
+        "parallel_saved_ms",
+        "SimulatedClock",
+        "Threading model",
+    ):
+        if needle not in text:
+            problems.append(f"docs/ARCHITECTURE.md: missing '{needle}'")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in markdown_files():
@@ -119,6 +152,7 @@ def main() -> int:
     problems += check_readme()
     problems += check_testing_doc()
     problems += check_observability_doc()
+    problems += check_architecture_doc()
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:
