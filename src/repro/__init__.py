@@ -39,6 +39,7 @@ from repro.observability import (
     QueryTrace,
 )
 from repro.resilience import FaultInjector, QueryBudget, RetryPolicy
+from repro.session import Session
 
 __version__ = "1.0.0"
 
@@ -57,5 +58,6 @@ __all__ = [
     "FaultInjector",
     "RetryPolicy",
     "QueryBudget",
+    "Session",
     "__version__",
 ]

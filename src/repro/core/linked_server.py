@@ -173,7 +173,7 @@ class LinkedServer:
         """
         description = description or self.name
         channel = self.channel
-        trace = channel.trace if channel is not None else None
+        trace = channel.active_trace if channel is not None else None
         if trace is None:
             return self._run_with_retry_inner(fn, description)
         # one child span per remote command, nested under whichever

@@ -21,7 +21,9 @@ Typical use::
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 import time
 from typing import Any, Callable, Dict, Optional, Sequence
 
@@ -29,7 +31,7 @@ from repro.algebra.logical import LogicalOp
 from repro.core.cost import CostModel
 from repro.core.linked_server import LinkedServer
 from repro.core.optimizer import OptimizationResult, Optimizer, OptimizerOptions
-from repro.core.physical import PhysicalOp
+from repro.core.physical import PhysicalOp, plan_fingerprint
 from repro.core.rules.normalization import normalize
 from repro.dtc.coordinator import TransactionCoordinator
 from repro.errors import (
@@ -40,11 +42,25 @@ from repro.errors import (
 )
 from repro.execution.context import ExecutionContext
 from repro.execution.executor import execute_plan
+from repro.execution.plancache import (
+    PlanCache,
+    PlanCacheEntry,
+    plan_references,
+)
 from repro.fulltext.service import FullTextService
-from repro.network.channel import NetworkChannel
+from repro.network.channel import (
+    NetworkChannel,
+    attach_statement_scope,
+    current_statement_scope,
+    restore_statement_scope,
+)
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.profile import PlanProfiler, render_analyze
-from repro.observability.querystore import QueryStore, query_hash
+from repro.observability.querystore import (
+    QueryStore,
+    normalize_query_text,
+    query_hash,
+)
 from repro.observability.trace import QueryTrace
 from repro.observability.views import QueryStatsEntry, system_view
 from repro.oledb.datasource import DataSource
@@ -56,8 +72,9 @@ from repro.resilience.degrade import (
     prune_unavailable_branches,
     pv_member_tables,
 )
-from repro.resilience.health import HealthRegistry
+from repro.resilience.health import CLOSED, HealthRegistry
 from repro.resilience.retry import QueryBudget, RetryPolicy
+from repro.session import Session
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundQuery, FullTextBinding
 from repro.sql.parser import parse_sql
@@ -110,6 +127,15 @@ class QueryResult:
         self.parallel_saved_ms: float = 0.0
         #: highest exchange degree of parallelism the plan actually used
         self.dop: int = 1
+        #: "hit" when the plan came from the shared plan cache, "miss"
+        #: when it was compiled (and possibly cached) by this
+        #: statement, None when the statement was uncacheable
+        self.plan_cache_status: Optional[str] = None
+        #: the cache key (normalized text, settings fingerprint) the
+        #: statement looked up, when cacheable
+        self.plan_cache_key: Optional[tuple] = None
+        #: id of the session the statement ran under
+        self.session_id: Optional[int] = None
 
     @property
     def is_partial(self) -> bool:
@@ -208,19 +234,77 @@ class ServerInstance:
         #: half-open probe after a few statements rather than never
         self.health = HealthRegistry(name)
         self.optimizer.health = self.health
-        #: SET PARTIAL_RESULTS ON flips this: partitioned-view queries
-        #: answer from reachable members and mark the result partial;
-        #: OFF (default) keeps fail-stop semantics.  DML is always
-        #: fail-stop/atomic regardless.
-        self.partial_results = False
         #: one bounded re-optimize-and-replan after a mid-query
         #: ServerUnavailableError (the member's breaker has tripped by
         #: then, so the second plan routes around it)
         self.replan_on_failure = True
-        #: SET PARALLEL_DOP n: session degree of parallelism for
-        #: exchange operators; 1 (default) keeps plans fully serial
-        self.parallel_dop = 1
-        self.optimizer.parallel_dop = 1
+        #: sessions: every statement runs under exactly one.  The
+        #: default session backs the single-user API (``execute``
+        #: without an explicit session, plus the legacy
+        #: ``engine.partial_results`` / ``engine.parallel_dop``
+        #: attributes, which are now views over it).
+        self._sessions_lock = threading.RLock()
+        self._session_ids = itertools.count(1)
+        self._sessions: Dict[int, Session] = {}
+        self._default_session = self.create_session("default")
+        #: shared compiled-plan cache: optimized SELECT plans keyed by
+        #: normalized text × plan-affecting settings, validated against
+        #: schema version / stats generation / breaker state at lookup
+        self.plan_cache = PlanCache(metrics=self.metrics)
+        self.plan_cache_enabled = True
+        #: statistics epoch; bumped by refresh_statistics() so plans
+        #: costed on stale statistics recompile
+        self._stats_generation = 0
+        #: serializes bind+optimize — the Cascades memo, the binder's
+        #: column registry and the optimizer's per-query attributes are
+        #: single-threaded machinery shared by every session
+        self._compile_lock = threading.RLock()
+        #: serializes local DML/DDL — the storage engine has no row
+        #: latching, so writers take turns (readers run latch-free on
+        #: materialized snapshots)
+        self._write_lock = threading.RLock()
+        #: guards the query_stats dict (shared DMV surface)
+        self._stats_lock = threading.RLock()
+
+    # ==================================================================
+    # sessions
+    # ==================================================================
+    def create_session(self, name: str = "") -> Session:
+        """Mint an independent session: its settings (PARALLEL_DOP,
+        PARTIAL_RESULTS, collation, active txn) never leak into other
+        sessions, so many threads can execute concurrently against
+        this one engine (one statement at a time per session)."""
+        with self._sessions_lock:
+            session_id = next(self._session_ids)
+            session = Session(self, session_id, name)
+            self._sessions[session_id] = session
+        self.metrics.set_gauge("engine.sessions", float(len(self._sessions)))
+        return session
+
+    def sessions(self) -> list[Session]:
+        with self._sessions_lock:
+            return list(self._sessions.values())
+
+    @property
+    def partial_results(self) -> bool:
+        """Legacy engine-level view of the *default session's*
+        PARTIAL_RESULTS setting."""
+        return self._default_session.partial_results
+
+    @partial_results.setter
+    def partial_results(self, value: bool) -> None:
+        self._default_session.partial_results = bool(value)
+
+    @property
+    def parallel_dop(self) -> int:
+        """Legacy engine-level view of the *default session's*
+        PARALLEL_DOP setting."""
+        return self._default_session.parallel_dop
+
+    @parallel_dop.setter
+    def parallel_dop(self, value: int) -> None:
+        self._default_session.parallel_dop = int(value)
+        self.optimizer.parallel_dop = int(value)
 
     # ==================================================================
     # linked servers & providers
@@ -461,18 +545,26 @@ class ServerInstance:
         sql_text: str,
         params: Optional[Dict[str, Any]] = None,
         txn: Optional[LocalTransaction] = None,
+        session: Optional[Session] = None,
     ) -> QueryResult:
         """Parse, plan, and run one SQL statement.
 
         ``txn`` attaches DML effects to a local transaction branch (the
-        path distributed transactions arrive through).
+        path distributed transactions arrive through).  ``session``
+        selects whose settings the statement runs under; without one
+        the engine's default session is used (the single-user API).
 
         Every statement is timed and its linked-server traffic is
         attributed by snapshot/diff of the channel counters, so the
         result carries exact ``network`` totals; with
         ``tracing_enabled`` it also carries a structured QueryTrace.
         """
+        session = session or self._default_session
+        if txn is None:
+            txn = session.txn
         trace = QueryTrace(sql_text) if self.tracing_enabled else None
+        if trace is not None:
+            trace.session_id = session.session_id
         budget = (
             QueryBudget(self.query_timeout_ms)
             if self.query_timeout_ms is not None
@@ -490,7 +582,9 @@ class ServerInstance:
                     stmt = parse_sql(sql_text)
             else:
                 stmt = parse_sql(sql_text)
-            result = self._dispatch_statement(stmt, params, txn, trace, sql_text)
+            result = self._dispatch_statement(
+                stmt, params, txn, trace, sql_text, session
+            )
         finally:
             self._restore_statement_scope(restore)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -498,10 +592,13 @@ class ServerInstance:
         result.network = network
         result.elapsed_ms = elapsed_ms
         result.trace = trace
+        result.session_id = session.session_id
+        session.statement_count += 1
         if trace is not None:
             for server, delta in network.items():
                 trace.network(server, delta)
-        self._record_query_stats(sql_text, result, elapsed_ms, network)
+        with self._stats_lock:
+            self._record_query_stats(sql_text, result, elapsed_ms, network)
         if (
             self.query_store_enabled
             and result.plan is not None
@@ -527,38 +624,53 @@ class ServerInstance:
         plan on the next execution instead of exploring.  Both arguments
         come from the ``sys.query_store_*`` views."""
         self.query_store.force_plan(query_hash_hex, plan_fingerprint)
+        # the pin must win over any already-cached plan for the query
+        self.plan_cache.invalidate_query(query_hash_hex, reason="pin")
         self.metrics.increment("query_store.plans_forced")
 
     def unforce_plan(self, query_hash_hex: str) -> None:
         self.query_store.unforce_plan(query_hash_hex)
+        # executions while pinned bypass the cache, but a plan cached
+        # *before* the pin existed must not resurface after unpinning
+        self.plan_cache.invalidate_query(query_hash_hex, reason="pin")
+
+    def refresh_statistics(self) -> None:
+        """Refresh optimizer statistics: remote metadata/cardinality
+        caches are dropped and the statistics generation is bumped, so
+        every cached plan (costed on the old numbers) recompiles on its
+        next execution."""
+        for server in self.linked_servers.values():
+            server.invalidate_metadata()
+        self._stats_generation += 1
+        self.plan_cache.invalidate_stale(
+            schema_version=self.catalog.schema_version,
+            stats_generation=self._stats_generation,
+        )
+        self.metrics.increment("engine.stats_refreshes")
 
     def _attach_statement_scope(
         self, trace: Optional[QueryTrace], budget: Optional[QueryBudget]
-    ) -> list[tuple[NetworkChannel, Any, Any]]:
-        """Point every linked-server channel at this statement's trace
-        and timeout budget; returns the prior values for restoration
-        (nested execute() calls must not clobber an outer scope)."""
+    ) -> Optional[tuple]:
+        """Bind this statement's trace and timeout budget to the
+        *calling thread*.  Channels resolve their attribution
+        thread-locally (:func:`repro.network.channel.attach_statement_scope`),
+        so concurrent sessions streaming through the same shared
+        channels never charge each other's trace or budget.  A nested
+        execute() that brings nothing new keeps the outer scope; one
+        that brings only a trace (or only a budget) inherits the other
+        half from the outer statement."""
         if trace is None and budget is None:
-            return []
-        restore = []
-        for server in self.linked_servers.values():
-            channel = server.channel
-            if channel is None:
-                continue
-            restore.append((channel, channel.trace, channel.budget))
-            if trace is not None:
-                channel.trace = trace
-            if budget is not None:
-                channel.budget = budget
-        return restore
+            return None
+        prior_trace, prior_budget = current_statement_scope()
+        return attach_statement_scope(
+            trace if trace is not None else prior_trace,
+            budget if budget is not None else prior_budget,
+        )
 
     @staticmethod
-    def _restore_statement_scope(
-        restore: list[tuple[NetworkChannel, Any, Any]]
-    ) -> None:
-        for channel, trace, budget in restore:
-            channel.trace = trace
-            channel.budget = budget
+    def _restore_statement_scope(restore: Optional[tuple]) -> None:
+        if restore is not None:
+            restore_statement_scope(restore)
 
     def _dispatch_statement(
         self,
@@ -567,52 +679,108 @@ class ServerInstance:
         txn: Optional[LocalTransaction],
         trace: Optional[QueryTrace],
         sql_text: Optional[str] = None,
+        session: Optional[Session] = None,
     ) -> QueryResult:
+        session = session or self._default_session
         if isinstance(stmt, ast.SelectStmt):
             return self._execute_select(
-                stmt, params, trace=trace, sql_text=sql_text
+                stmt, params, trace=trace, sql_text=sql_text, session=session
             )
         if isinstance(stmt, ast.ExplainStmt):
-            return self._execute_explain(stmt, params, trace=trace)
+            return self._execute_explain(
+                stmt, params, trace=trace, session=session
+            )
         if isinstance(stmt, ast.InsertStmt):
-            return self._execute_insert(stmt, params, txn)
+            with self._write_lock:
+                result = self._execute_insert(stmt, params, txn)
+            self._note_local_write(stmt.table)
+            return result
         if isinstance(stmt, ast.UpdateStmt):
-            return self._execute_update(stmt, params, txn)
+            with self._write_lock:
+                result = self._execute_update(stmt, params, txn)
+            self._note_local_write(stmt.table)
+            return result
         if isinstance(stmt, ast.DeleteStmt):
-            return self._execute_delete(stmt, params, txn)
+            with self._write_lock:
+                result = self._execute_delete(stmt, params, txn)
+            self._note_local_write(stmt.table)
+            return result
         if isinstance(stmt, ast.CreateTableStmt):
-            return self._execute_create_table(stmt)
+            with self._write_lock:
+                result = self._execute_create_table(stmt)
+            self._note_ddl()
+            return result
         if isinstance(stmt, ast.CreateIndexStmt):
-            return self._execute_create_index(stmt)
+            with self._write_lock:
+                result = self._execute_create_index(stmt)
+            self._note_ddl()
+            return result
         if isinstance(stmt, ast.CreateViewStmt):
-            return self._execute_create_view(stmt)
+            with self._write_lock:
+                result = self._execute_create_view(stmt)
+            self._note_ddl()
+            return result
         if isinstance(stmt, ast.CreateDatabaseStmt):
-            self.catalog.create_database(stmt.name)
+            with self._write_lock:
+                self.catalog.create_database(stmt.name)
+            self._note_ddl()
             return QueryResult([], [], rowcount=0)
         if isinstance(stmt, ast.DropTableStmt):
-            database, schema_name, table_name = self._table_target(stmt.table)
-            database.drop_table(table_name, schema_name)
+            with self._write_lock:
+                database, schema_name, table_name = self._table_target(
+                    stmt.table
+                )
+                database.drop_table(table_name, schema_name)
+            self._note_ddl()
             return QueryResult([], [], rowcount=0)
         if isinstance(stmt, ast.SetStmt):
-            return self._execute_set(stmt)
+            return self._execute_set(stmt, session)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
 
-    def _execute_set(self, stmt: ast.SetStmt) -> QueryResult:
+    def _note_ddl(self) -> None:
+        """A schema change happened: purge every cached plan compiled
+        under the previous schema version."""
+        self.plan_cache.invalidate_stale(
+            schema_version=self.catalog.schema_version,
+            stats_generation=self._stats_generation,
+        )
+
+    def _note_local_write(self, named: ast.NamedTable) -> None:
+        """Row counts changed: plans scanning the written table were
+        costed on stale cardinalities, so they recompile."""
+        self.plan_cache.invalidate_tables(
+            {named.parts[-1].lower()}, reason="stats"
+        )
+
+    def _execute_set(
+        self, stmt: ast.SetStmt, session: Optional[Session] = None
+    ) -> QueryResult:
+        """Apply a session setting atomically.
+
+        All validation happens *before* any state mutates, and the
+        mutation targets the session — never the engine singleton — so
+        a failed ``SET`` (or one racing a concurrent session) can
+        neither leave half-applied state behind nor leak into another
+        session's statements.
+        """
+        session = session or self._default_session
         if stmt.option == "partial_results":
             if not isinstance(stmt.value, bool):
                 raise SqlError("SET PARTIAL_RESULTS expects ON or OFF")
-            self.partial_results = stmt.value
-            self.metrics.set_gauge(
-                "engine.partial_results", 1.0 if stmt.value else 0.0
-            )
+            session.partial_results = stmt.value
+            if session is self._default_session:
+                self.metrics.set_gauge(
+                    "engine.partial_results", 1.0 if stmt.value else 0.0
+                )
             return QueryResult([], [], rowcount=0)
         if stmt.option == "parallel_dop":
             dop = stmt.value
             if isinstance(dop, bool) or not isinstance(dop, int) or dop < 1:
                 raise SqlError("SET PARALLEL_DOP expects an integer >= 1")
-            self.parallel_dop = dop
-            self.optimizer.parallel_dop = dop
-            self.metrics.set_gauge("engine.parallel_dop", float(dop))
+            session.parallel_dop = dop
+            if session is self._default_session:
+                self.optimizer.parallel_dop = dop
+                self.metrics.set_gauge("engine.parallel_dop", float(dop))
             return QueryResult([], [], rowcount=0)
         raise SqlError(f"unknown SET option {stmt.option.upper()!r}")
 
@@ -621,6 +789,7 @@ class ServerInstance:
         stmt: ast.ExplainStmt,
         params: Optional[Dict[str, Any]] = None,
         trace: Optional[QueryTrace] = None,
+        session: Optional[Session] = None,
     ) -> QueryResult:
         """EXPLAIN [ANALYZE] [VERBOSE] SELECT ...: one plan-tree line
         per row, plus phase telemetry as trailing rows.
@@ -629,9 +798,18 @@ class ServerInstance:
         operator with actual rows and open/next/close timings plus the
         statement's per-server network traffic; VERBOSE appends memo
         statistics (groups, expressions, per-rule firing counts).
+        EXPLAIN always compiles fresh — it never reads or populates the
+        plan cache (its job is to show what compilation would do now).
         """
-        bound = Binder(self).bind_select(stmt.select)
-        optimization = self._optimize_traced(bound.root, trace)
+        session = session or self._default_session
+        with self._compile_lock:
+            prior_dop = self.optimizer.parallel_dop
+            self.optimizer.parallel_dop = session.parallel_dop
+            try:
+                bound = Binder(self).bind_select(stmt.select)
+                optimization = self._optimize_traced(bound.root, trace)
+            finally:
+                self.optimizer.parallel_dop = prior_dop
         ctx: Optional[ExecutionContext] = None
         profiler: Optional[PlanProfiler] = None
         if stmt.analyze:
@@ -650,7 +828,7 @@ class ServerInstance:
             restore = (
                 self._attach_statement_scope(run_trace, None)
                 if trace is None
-                else []
+                else None
             )
             before = self._network_snapshot()
             try:
@@ -704,13 +882,23 @@ class ServerInstance:
         finally:
             self.optimizer.trace = None
 
-    def plan(self, sql_text: str) -> OptimizationResult:
-        """Optimize a SELECT without executing it (EXPLAIN)."""
+    def plan(
+        self, sql_text: str, session: Optional[Session] = None
+    ) -> OptimizationResult:
+        """Optimize a SELECT without executing it (EXPLAIN).  Always
+        compiles fresh, bypassing the plan cache."""
         stmt = parse_sql(sql_text)
         if not isinstance(stmt, ast.SelectStmt):
             raise SqlError("plan() expects a SELECT statement")
-        bound = Binder(self).bind_select(stmt)
-        return self.optimizer.optimize(bound.root)
+        session = session or self._default_session
+        with self._compile_lock:
+            prior_dop = self.optimizer.parallel_dop
+            self.optimizer.parallel_dop = session.parallel_dop
+            try:
+                bound = Binder(self).bind_select(stmt)
+                return self.optimizer.optimize(bound.root)
+            finally:
+                self.optimizer.parallel_dop = prior_dop
 
     def _partial_route_around(self, allow_probes: bool):
         """Pruning predicate for partial-results planning.
@@ -743,8 +931,33 @@ class ServerInstance:
         trace: Optional[QueryTrace],
         allow_probes: bool = True,
         sql_text: Optional[str] = None,
+        session: Optional[Session] = None,
     ) -> tuple[BoundQuery, OptimizationResult, list[SkippedPartition]]:
-        """Bind, optionally prune unreachable PV members, optimize."""
+        """Bind, optionally prune unreachable PV members, optimize.
+
+        Runs under the compile lock: the Cascades memo and the
+        optimizer's per-query attributes (trace, parallel_dop) are
+        single-threaded machinery shared by every session, so compiles
+        are serialized while executions stay concurrent."""
+        session = session or self._default_session
+        with self._compile_lock:
+            prior_dop = self.optimizer.parallel_dop
+            self.optimizer.parallel_dop = session.parallel_dop
+            try:
+                return self._plan_select_locked(
+                    stmt, trace, allow_probes, sql_text, session
+                )
+            finally:
+                self.optimizer.parallel_dop = prior_dop
+
+    def _plan_select_locked(
+        self,
+        stmt: ast.SelectStmt,
+        trace: Optional[QueryTrace],
+        allow_probes: bool,
+        sql_text: Optional[str],
+        session: Session,
+    ) -> tuple[BoundQuery, OptimizationResult, list[SkippedPartition]]:
         if trace is not None:
             with trace.span("bind"):
                 bound = Binder(self).bind_select(stmt)
@@ -752,7 +965,7 @@ class ServerInstance:
             bound = Binder(self).bind_select(stmt)
         root = bound.root
         skipped: list[SkippedPartition] = []
-        if self.partial_results:
+        if session.partial_results:
             # remember which remote tables are PV members while the
             # unions are still intact, then normalize so static pruning
             # drops branches the predicates contradict — a query routed
@@ -781,16 +994,134 @@ class ServerInstance:
         optimization = self._optimize_traced(root, trace, query_key)
         return bound, optimization, skipped
 
+    def _settings_fingerprint(self, session: Session) -> tuple:
+        """The plan-affecting settings, and only those, for the cache
+        key.  The PARALLEL_DOP *value* is deliberately excluded: plan
+        fingerprints are DOP-free and exchanges read the session's
+        degree at execution time, so one compiled parallel plan serves
+        DOP 2 and DOP 8 alike.  Only parallel *eligibility* (DOP > 1)
+        is keyed, because a serial compile contains no exchange at all.
+        Optimizer feature switches (remote rules on/off, etc.) are
+        included because flipping one legitimately changes the plan."""
+        return (
+            bool(session.partial_results),
+            session.parallel_dop > 1,
+            session.collation.name,
+            tuple(
+                sorted(
+                    (key, repr(value))
+                    for key, value in vars(self.optimizer.options).items()
+                )
+            ),
+        )
+
+    def _unhealthy_servers(self) -> frozenset:
+        """Linked servers whose breaker is not closed right now (open
+        or half-open both carry cost penalties and routing changes)."""
+        return frozenset(
+            breaker.name
+            for breaker in self.health.breakers()
+            if breaker.state != CLOSED
+        )
+
+    def _plan_cache_key(self, sql_text: str, session: Session) -> tuple:
+        return (normalize_query_text(sql_text), self._settings_fingerprint(session))
+
+    def _cache_compiled_plan(
+        self,
+        entry_key: tuple,
+        sql_text: str,
+        optimization: OptimizationResult,
+        output_names: list,
+        output_cids: list,
+    ) -> None:
+        servers, tables = plan_references(optimization.plan)
+        self.plan_cache.store(
+            PlanCacheEntry(
+                key=entry_key,
+                query_hash=query_hash(sql_text),
+                sql_text=sql_text,
+                normalized_text=entry_key[0],
+                optimization=optimization,
+                output_names=list(output_names),
+                output_cids=list(output_cids),
+                fingerprint=plan_fingerprint(optimization.plan),
+                schema_version=self.catalog.schema_version,
+                stats_generation=self._stats_generation,
+                unhealthy_servers=self._unhealthy_servers() & servers,
+                servers=servers,
+                tables=tables,
+            )
+        )
+
     def _execute_select(
         self,
         stmt: ast.SelectStmt,
         params: Optional[Dict[str, Any]],
         trace: Optional[QueryTrace] = None,
         sql_text: Optional[str] = None,
+        session: Optional[Session] = None,
     ) -> QueryResult:
-        bound, optimization, skipped = self._plan_select(
-            stmt, trace, sql_text=sql_text
+        session = session or self._default_session
+        # -- plan-cache lookup ------------------------------------------
+        # Uncacheable: statements without text (nested INSERT..SELECT),
+        # partial-results mode (plans depend on this instant's breaker
+        # probe schedule), and DMV reads (rows are materialized at bind
+        # time, so a cached plan would freeze the snapshot).
+        cacheable = (
+            self.plan_cache_enabled
+            and sql_text is not None
+            and not session.partial_results
+            and "sys." not in sql_text.lower()
         )
+        if cacheable and self.query_store_enabled:
+            # a Query Store pin always wins over the cache: pinned
+            # queries compile through the pin-replay path every time
+            if self.query_store.forced_plan_for(sql_text) is not None:
+                cacheable = False
+        entry_key: Optional[tuple] = None
+        cache_status: Optional[str] = None
+        optimization: Optional[OptimizationResult] = None
+        output_names: list = []
+        output_cids: list = []
+        skipped: list[SkippedPartition] = []
+        if cacheable:
+            entry_key = self._plan_cache_key(sql_text, session)
+            entry = self.plan_cache.lookup(
+                entry_key,
+                schema_version=self.catalog.schema_version,
+                stats_generation=self._stats_generation,
+                unhealthy_servers=self._unhealthy_servers(),
+            )
+            if entry is not None:
+                cache_status = "hit"
+                optimization = entry.optimization
+                output_names = entry.output_names
+                output_cids = entry.output_cids
+                self.metrics.increment("optimizer.explorations_skipped")
+                if trace is not None:
+                    trace.event(
+                        "plan_cache_hit",
+                        query_hash=entry.query_hash,
+                        fingerprint=entry.fingerprint,
+                        hits=entry.hits,
+                    )
+        if optimization is None:
+            if cacheable:
+                cache_status = "miss"
+            bound, optimization, skipped = self._plan_select(
+                stmt, trace, sql_text=sql_text, session=session
+            )
+            output_names = bound.output_names
+            output_cids = [d.cid for d in bound.output_defs]
+            # a plan built against pruned PV members is this statement's
+            # private degraded plan, never shared
+            if cacheable and not skipped:
+                assert entry_key is not None
+                self._cache_compiled_plan(
+                    entry_key, sql_text, optimization,
+                    output_names, output_cids,
+                )
         profiler = PlanProfiler() if self.profiling_enabled else None
         replans = 0
         ctx = ExecutionContext(
@@ -799,10 +1130,11 @@ class ServerInstance:
             profiler=profiler,
             metrics=self.metrics,
             trace=trace,
+            requested_dop=session.parallel_dop,
         )
         try:
             if trace is not None:
-                with trace.span("execute"):
+                with trace.span("execute", session=session.session_id):
                     rows = execute_plan(optimization.plan, ctx)
             else:
                 rows = execute_plan(optimization.plan, ctx)
@@ -814,8 +1146,13 @@ class ServerInstance:
             # around it (and partial mode prunes its PV branches);
             # already-spooled remote results carry over via the shared
             # spool cache.  A second failure propagates fail-stop.
+            # A cached plan that hit this path is stale by definition
+            # (it references a member whose breaker just opened), so it
+            # is evicted rather than fast-failing the next caller.
             replans = 1
             self.metrics.increment("engine.replans")
+            if entry_key is not None:
+                self.plan_cache.invalidate_key(entry_key, reason="breaker")
             if trace is not None:
                 trace.event(
                     "replan",
@@ -823,8 +1160,10 @@ class ServerInstance:
                     error=f"{type(error).__name__}: {error}",
                 )
             bound, optimization, skipped = self._plan_select(
-                stmt, trace, allow_probes=False
+                stmt, trace, allow_probes=False, session=session
             )
+            output_names = bound.output_names
+            output_cids = [d.cid for d in bound.output_defs]
             ctx = ExecutionContext(
                 params,
                 subquery_executor=self._run_subquery,
@@ -832,27 +1171,31 @@ class ServerInstance:
                 metrics=self.metrics,
                 trace=trace,
                 spool_cache=ctx.spool_cache,
+                requested_dop=session.parallel_dop,
             )
             if trace is not None:
-                with trace.span("execute"):
+                with trace.span("execute", session=session.session_id):
                     rows = execute_plan(optimization.plan, ctx)
             else:
                 rows = execute_plan(optimization.plan, ctx)
         # align plan output order with the bound output defs
-        rows = _reorder_output(rows, optimization.plan, bound)
+        rows = _reorder_output(rows, optimization.plan, output_cids)
         result = QueryResult(
-            rows, bound.output_names, optimization.plan, optimization, ctx
+            rows, output_names, optimization.plan, optimization, ctx
         )
         result.profile = profiler
         result.replans = replans
         result.parallel_saved_ms = ctx.parallel_saved_ms
         result.dop = max(1, ctx.max_dop_used)
+        result.plan_cache_status = cache_status
+        result.plan_cache_key = entry_key
         if skipped:
             result.partial = PartialResultsInfo(skipped)
         return result
 
     def _run_subquery(self, root: LogicalOp) -> list[tuple]:
-        optimization = self.optimizer.optimize(root)
+        with self._compile_lock:
+            optimization = self.optimizer.optimize(root)
         ctx = ExecutionContext(
             subquery_executor=self._run_subquery, metrics=self.metrics
         )
@@ -1285,6 +1628,9 @@ class ServerInstance:
         database, schema_name, table_name = self._table_target(stmt.table)
         table = database.table(table_name, schema_name)
         table.create_index(stmt.index_name, stmt.columns, stmt.unique)
+        # create_index mutates the Table directly; bump the version so
+        # cached plans compiled without the index recompile
+        database.bump_schema_version()
         return QueryResult([], [], rowcount=0)
 
     def _execute_create_view(self, stmt: ast.CreateViewStmt) -> QueryResult:
@@ -1324,13 +1670,12 @@ def _infer_result_type(result: QueryResult, ordinal: int) -> SqlType:
 
 
 def _reorder_output(
-    rows: list[tuple], plan: PhysicalOp, bound: BoundQuery
+    rows: list[tuple], plan: PhysicalOp, wanted: list
 ) -> list[tuple]:
     """Plans may emit columns in a different id order than the query's
-    output list; realign by column id."""
+    output list (``wanted`` column ids); realign by column id."""
     plan_ids = list(plan.output_ids())
-    wanted = [d.cid for d in bound.output_defs]
-    if plan_ids == wanted:
+    if plan_ids == list(wanted):
         return rows
     positions = [plan_ids.index(cid) for cid in wanted]
     return [tuple(row[p] for p in positions) for row in rows]

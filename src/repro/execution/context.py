@@ -33,6 +33,7 @@ class ExecutionContext:
         metrics: Optional["MetricsRegistry"] = None,
         trace: Optional["QueryTrace"] = None,
         spool_cache: Optional[Dict[Any, list]] = None,
+        requested_dop: Optional[int] = None,
     ):
         #: @parameter values for this execution
         self.params = dict(params or {})
@@ -66,6 +67,11 @@ class ExecutionContext:
         self.parallel_saved_ms = 0.0
         self.parallel_branches = 0
         self.max_dop_used = 1
+        #: the session's PARALLEL_DOP at execution time; exchange
+        #: operators run at this degree rather than the one baked into
+        #: the plan, so a cached parallel plan is DOP-invariant (None =
+        #: use the plan's compiled dop)
+        self.requested_dop = requested_dop
 
     # ------------------------------------------------------------------
     # telemetry hooks (the single reporting path for all operators)

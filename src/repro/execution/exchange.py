@@ -43,9 +43,21 @@ from repro.execution.scheduler import (
 from repro.types.intervals import SortKey
 
 
+def _effective_dop(plan, ctx) -> int:
+    """The degree an exchange actually runs at: the session's current
+    PARALLEL_DOP when known (so a shared cached plan adapts to each
+    session), else the degree the plan was compiled with."""
+    requested = getattr(ctx, "requested_dop", None)
+    if requested is not None and requested > 1:
+        return requested
+    return plan.dop
+
+
 def run_gather(plan, ctx) -> Iterator[tuple]:
     """Execute a Gather: concurrent branches, arrival-order output."""
-    scheduler = GatherScheduler(ctx, plan.dop, _branch_tasks(plan, ctx))
+    scheduler = GatherScheduler(
+        ctx, _effective_dop(plan, ctx), _branch_tasks(plan, ctx)
+    )
     scheduler.start()
     try:
         for page in scheduler.pages():
@@ -61,7 +73,9 @@ def run_gather_merge(plan, ctx) -> Iterator[tuple]:
     key_ordinals = [
         (output_ids.index(key.cid), key.ascending) for key in plan.keys
     ]
-    scheduler = GatherMergeScheduler(ctx, plan.dop, _branch_tasks(plan, ctx))
+    scheduler = GatherMergeScheduler(
+        ctx, _effective_dop(plan, ctx), _branch_tasks(plan, ctx)
+    )
     scheduler.start()
     try:
         yield from _merge(scheduler, scheduler.streams(), key_ordinals)

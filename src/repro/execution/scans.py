@@ -22,7 +22,7 @@ def _span_wrapped_rows(
     stream stays fully lazy.  The rowset itself is also opened inside
     the span (the command dispatch is part of the remote operation).
     """
-    trace = channel.trace
+    trace = channel.active_trace
     span = None
     stats_before = None
     rows: Iterator[Row] | None = None
@@ -75,7 +75,7 @@ def _resilient_rows(server: Any, open_fn, description: str) -> Iterator[Row]:
     """
     channel = getattr(server, "channel", None)
     if channel is None or channel.fault_injector is None:
-        if channel is not None and channel.trace is not None:
+        if channel is not None and channel.active_trace is not None:
             return _span_wrapped_rows(
                 channel, server.name, open_fn, description
             )
@@ -193,7 +193,7 @@ def run_remote_range(plan: P.RemoteRange, ctx: ExecutionContext) -> Iterator[Row
                 description=f"range:{plan.table.qualified_name}",
             )
         )
-    elif channel is not None and channel.trace is not None:
+    elif channel is not None and channel.active_trace is not None:
         rows = _span_wrapped_rows(
             channel, server.name, generate,
             f"range:{plan.table.qualified_name}",

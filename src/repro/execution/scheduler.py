@@ -36,7 +36,13 @@ import queue
 import threading
 from typing import Callable, Iterator, List, Optional, Sequence
 
-from repro.network.channel import attach_worker_charges, detach_worker_charges
+from repro.network.channel import (
+    attach_statement_scope,
+    attach_worker_charges,
+    current_statement_scope,
+    detach_worker_charges,
+    restore_statement_scope,
+)
 
 #: rows per page pushed through an exchange queue
 PAGE_ROWS = 64
@@ -105,6 +111,10 @@ class ExchangeScheduler:
         self.parent_span_id = (
             trace.current_span_id if trace is not None else None
         )
+        #: the spawning statement's (trace, budget) scope — statement
+        #: attribution is thread-local on channels, so each worker
+        #: thread must re-attach the consumer's scope before charging
+        self._statement_scope = current_statement_scope()
 
     # -- producer side ----------------------------------------------------
     def _worker(self, tasks: Sequence[BranchTask], out_queue: queue.Queue,
@@ -123,6 +133,7 @@ class ExchangeScheduler:
         trace = self.ctx.trace
         charges = [0.0]
         attach_worker_charges(charges)
+        prior_scope = attach_statement_scope(*self._statement_scope)
         span = None
         if trace is not None:
             span = trace.begin_span(
@@ -153,6 +164,7 @@ class ExchangeScheduler:
             self.cancel.set()
         finally:
             detach_worker_charges()
+            restore_statement_scope(prior_scope)
             if span is not None:
                 trace.exit_span(span)
         if failure is not None:

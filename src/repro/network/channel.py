@@ -59,6 +59,40 @@ def detach_worker_charges() -> None:
     _WORKER.charges = None
 
 
+#: per-thread statement scope: the (trace, budget) pair of the statement
+#: currently running on this thread.  Channels are shared by every
+#: session of an engine, so statement attribution must be thread-local —
+#: a plain instance attribute would leak one session's trace/budget into
+#: a concurrent session's charges.
+_SCOPE = threading.local()
+
+
+def attach_statement_scope(
+    trace: Optional["QueryTrace"], budget: Optional["QueryBudget"]
+) -> tuple:
+    """Bind ``(trace, budget)`` to the calling thread for the duration
+    of one statement; returns the prior pair for
+    :func:`restore_statement_scope`."""
+    prior = current_statement_scope()
+    _SCOPE.trace = trace
+    _SCOPE.budget = budget
+    return prior
+
+
+def restore_statement_scope(prior: tuple) -> None:
+    """Undo :func:`attach_statement_scope` (pass its return value)."""
+    _SCOPE.trace, _SCOPE.budget = prior
+
+
+def current_statement_scope() -> tuple:
+    """The calling thread's ``(trace, budget)`` pair (``(None, None)``
+    when no statement is in flight)."""
+    return (
+        getattr(_SCOPE, "trace", None),
+        getattr(_SCOPE, "budget", None),
+    )
+
+
 class NetworkStats:
     """Running totals for one channel (or an aggregate of channels).
 
@@ -168,9 +202,12 @@ class NetworkChannel:
         self.fault_injector: Optional["FaultInjector"] = None
         #: owning engine's registry; fault/retry counters land here
         self.metrics: Optional["MetricsRegistry"] = None
-        #: current statement's trace (attached per-statement by the engine)
+        #: pinned statement trace — overrides the thread-local scope
+        #: when set directly (legacy single-session hook; the engine
+        #: now attaches per-statement scope thread-locally, see
+        #: :func:`attach_statement_scope`)
         self.trace: Optional["QueryTrace"] = None
-        #: current statement's timeout budget (attached by the engine)
+        #: pinned timeout budget — same override semantics as ``trace``
         self.budget: Optional["QueryBudget"] = None
         #: guards ``stats`` mutations — parallel workers may stream
         #: through the same channel concurrently
@@ -194,6 +231,24 @@ class NetworkChannel:
         injector = self.fault_injector
         return injector.slow_factor if injector is not None else 1.0
 
+    # -- statement attribution ------------------------------------------------
+    @property
+    def active_trace(self) -> Optional["QueryTrace"]:
+        """The trace charges should land on: a directly-pinned
+        ``channel.trace`` wins, else the calling thread's statement
+        scope."""
+        if self.trace is not None:
+            return self.trace
+        return getattr(_SCOPE, "trace", None)
+
+    @property
+    def active_budget(self) -> Optional["QueryBudget"]:
+        """The budget charges draw down (same resolution as
+        :attr:`active_trace`)."""
+        if self.budget is not None:
+            return self.budget
+        return getattr(_SCOPE, "budget", None)
+
     # -- charging ---------------------------------------------------------------
     def _charge_ms(self, ms: float) -> None:
         """Add simulated time to the running totals and, when a
@@ -203,12 +258,14 @@ class NetworkChannel:
         charges = getattr(_WORKER, "charges", None)
         if charges is not None:
             charges[0] += ms
-        if self.trace is not None:
+        trace = self.active_trace
+        if trace is not None:
             # attribute the charge to every open span so each level of
             # the span tree carries its inclusive network time
-            self.trace.add_network_ms(ms)
-        if self.budget is not None:
-            self.budget.charge(ms)
+            trace.add_network_ms(ms)
+        budget = self.active_budget
+        if budget is not None:
+            budget.charge(ms)
 
     # -- fault surface ----------------------------------------------------------
     def check_available(self) -> None:
@@ -305,8 +362,9 @@ class NetworkChannel:
             self.metrics.increment(name, amount)
 
     def _trace_event(self, name: str, **attrs: Any) -> None:
-        if self.trace is not None:
-            self.trace.event(name, channel=self.name, **attrs)
+        trace = self.active_trace
+        if trace is not None:
+            trace.event(name, channel=self.name, **attrs)
 
     # -- accounting -------------------------------------------------------------
     def send_command(self, text: str) -> None:

@@ -37,6 +37,7 @@ exploration and returns the pinned plan without searching (SQL Server's
 
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import deque
 from typing import Any, Dict, Optional
@@ -347,6 +348,9 @@ class QueryStore:
         self._queries: Dict[str, QueryEntry] = {}
         self._next_query_id = 1
         self._next_plan_id = 1
+        #: concurrent sessions record and consult pins through one
+        #: shared store; entry/plan minting must be atomic
+        self._lock = threading.RLock()
 
     # -- recording -------------------------------------------------------------
     def record(
@@ -360,6 +364,21 @@ class QueryStore:
         partial: bool = False,
     ) -> QueryEntry:
         """Attribute one execution to (query hash, plan fingerprint)."""
+        with self._lock:
+            return self._record_locked(
+                sql_text, plan, rows, elapsed_ms, network, replans, partial
+            )
+
+    def _record_locked(
+        self,
+        sql_text: str,
+        plan: PhysicalOp,
+        rows: int,
+        elapsed_ms: float,
+        network: Dict[str, Dict[str, float]],
+        replans: int,
+        partial: bool,
+    ) -> QueryEntry:
         entry = self._entry_for(sql_text)
         fingerprint = plan_fingerprint(plan)
         plan_entry = entry.plans.get(fingerprint)
@@ -463,22 +482,26 @@ class QueryStore:
         The fingerprint must identify a plan this store has captured
         for that query — there is nothing to replay otherwise.
         """
-        entry = self._queries.get(qhash)
-        if entry is None:
-            raise KeyError(f"query store has no query with hash {qhash!r}")
-        plan_entry = entry.plans.get(fingerprint)
-        if plan_entry is None:
-            raise KeyError(
-                f"query {qhash!r} has no captured plan with fingerprint "
-                f"{fingerprint!r} (known: {sorted(entry.plans)})"
-            )
-        entry.forced_fingerprint = fingerprint
-        return plan_entry
+        with self._lock:
+            entry = self._queries.get(qhash)
+            if entry is None:
+                raise KeyError(
+                    f"query store has no query with hash {qhash!r}"
+                )
+            plan_entry = entry.plans.get(fingerprint)
+            if plan_entry is None:
+                raise KeyError(
+                    f"query {qhash!r} has no captured plan with fingerprint "
+                    f"{fingerprint!r} (known: {sorted(entry.plans)})"
+                )
+            entry.forced_fingerprint = fingerprint
+            return plan_entry
 
     def unforce_plan(self, qhash: str) -> None:
-        entry = self._queries.get(qhash)
-        if entry is not None:
-            entry.forced_fingerprint = None
+        with self._lock:
+            entry = self._queries.get(qhash)
+            if entry is not None:
+                entry.forced_fingerprint = None
 
     def forced_plan_for(self, sql_text: str) -> Optional[PhysicalOp]:
         """The pinned physical plan for a statement, or None.
@@ -487,13 +510,14 @@ class QueryStore:
         must also match exactly, so a hash collision can never replay
         the wrong query's plan.
         """
-        entry = self._queries.get(query_hash(sql_text))
-        if entry is None or entry.forced_fingerprint is None:
-            return None
-        if entry.normalized_text != normalize_query_text(sql_text):
-            return None
-        plan_entry = entry.plans.get(entry.forced_fingerprint)
-        return plan_entry.plan if plan_entry is not None else None
+        with self._lock:
+            entry = self._queries.get(query_hash(sql_text))
+            if entry is None or entry.forced_fingerprint is None:
+                return None
+            if entry.normalized_text != normalize_query_text(sql_text):
+                return None
+            plan_entry = entry.plans.get(entry.forced_fingerprint)
+            return plan_entry.plan if plan_entry is not None else None
 
     # -- export ----------------------------------------------------------------
     def as_dict(self) -> Dict[str, Any]:

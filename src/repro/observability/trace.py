@@ -126,6 +126,9 @@ class QueryTrace:
 
     def __init__(self, statement: str = ""):
         self.statement = statement
+        #: id of the session the statement ran under (set by the
+        #: engine; None for traces built outside a session)
+        self.session_id: "int | None" = None
         self.events: list[TraceEvent] = []
         self._started = time.perf_counter()
         self._next_span_id = 1
@@ -311,10 +314,13 @@ class QueryTrace:
         return [e for e in self.events if e.name == "network"]
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "statement": self.statement,
             "events": [e.as_dict() for e in self.events],
         }
+        if self.session_id is not None:
+            payload["session_id"] = self.session_id
+        return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, default=str)

@@ -332,8 +332,67 @@ def _query_store_regressions(engine: Any) -> tuple[Columns, list[tuple]]:
     return columns, rows
 
 
+def _dm_exec_cached_plans(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per compiled plan in the shared plan cache."""
+    columns: Columns = [
+        ("query_hash", varchar(16)),
+        ("query_text", varchar()),
+        ("plan_fingerprint", varchar(64)),
+        ("hit_count", BIGINT),
+        ("schema_version", INT),
+        ("stats_generation", INT),
+        ("servers", varchar()),
+        ("tables", varchar()),
+        ("unhealthy_at_compile", varchar()),
+    ]
+    rows = [
+        (
+            entry.query_hash,
+            entry.sql_text,
+            entry.fingerprint,
+            entry.hits,
+            entry.schema_version,
+            entry.stats_generation,
+            ",".join(sorted(entry.servers)),
+            ",".join(sorted(entry.tables)),
+            ",".join(sorted(entry.unhealthy_servers)),
+        )
+        for entry in engine.plan_cache.entries()
+    ]
+    return columns, rows
+
+
+def _dm_exec_sessions(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per session minted by ``engine.create_session`` (plus
+    the default session)."""
+    columns: Columns = [
+        ("session_id", INT),
+        ("name", varchar(128)),
+        ("parallel_dop", INT),
+        ("partial_results", INT),
+        ("collation", varchar(128)),
+        ("statement_count", BIGINT),
+        ("open_txn", INT),
+    ]
+    rows = [
+        (
+            session.session_id,
+            session.name,
+            session.parallel_dop,
+            1 if session.partial_results else 0,
+            session.collation.name,
+            session.statement_count,
+            1 if session.txn is not None else 0,
+        )
+        for session in engine.sessions()
+    ]
+    return columns, rows
+
+
 _VIEWS = {
+    "dm_exec_cached_plans": _dm_exec_cached_plans,
     "dm_exec_connections": _dm_exec_connections,
+    "dm_exec_sessions": _dm_exec_sessions,
     "dm_exec_query_stats": _dm_exec_query_stats,
     "dm_os_performance_counters": _dm_os_performance_counters,
     "dm_server_health": _dm_server_health,

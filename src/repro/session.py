@@ -1,0 +1,85 @@
+"""Per-session execution state for a shared engine.
+
+A :class:`Session` owns everything that used to live as mutable
+singletons on :class:`~repro.engine.ServerInstance` — ``PARALLEL_DOP``,
+``PARTIAL_RESULTS``, the active collation, the current transaction —
+so many threads can run statements against one engine concurrently
+without settings leaking between them.  ``engine.execute`` without an
+explicit session runs on the engine's *default session*, preserving
+the single-user API; ``engine.create_session()`` mints independent
+ones.
+
+Settings are applied atomically by ``SET``: validation happens before
+any field is mutated, so a failed ``SET`` leaves the session exactly
+as it was (the historical bug was ``SET`` writing through to the
+engine singleton, where a mid-statement failure left half-applied
+state visible to every caller).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.types.collation import DEFAULT_COLLATION
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One client's settings + transaction scope over a shared engine.
+
+    A session is *not* a thread: any thread may use it, but a single
+    session should not run two statements at once (like one ODBC
+    connection).  Cross-session concurrency is the supported mode.
+    """
+
+    def __init__(self, engine: Any, session_id: int, name: str = ""):
+        self.engine = engine
+        self.session_id = session_id
+        self.name = name or f"session-{session_id}"
+        #: degree of parallelism for exchange scheduling (cache-invariant)
+        self.parallel_dop = 1
+        #: answer PV reads from live partitions when members are dark
+        self.partial_results = False
+        #: active collation (plan-affecting: comparisons fold under it)
+        self.collation = DEFAULT_COLLATION
+        #: active local transaction attached to DML when none is passed
+        self.txn: Optional[Any] = None
+        #: statements executed through this session (DMV surface)
+        self.statement_count = 0
+
+    # -- statement entry points --------------------------------------------
+    def execute(self, sql_text: str, params: Any = None, txn: Any = None):
+        return self.engine.execute(sql_text, params, txn=txn, session=self)
+
+    def plan(self, sql_text: str):
+        return self.engine.plan(sql_text, session=self)
+
+    # -- transactions -------------------------------------------------------
+    def begin_transaction(self, name: str = ""):
+        from repro.storage.transactions import LocalTransaction
+
+        if self.txn is not None and self.txn.state == LocalTransaction.ACTIVE:
+            raise RuntimeError(
+                f"{self.name} already has an active transaction"
+            )
+        self.txn = LocalTransaction(name or f"{self.name}-txn")
+        return self.txn
+
+    def commit(self) -> None:
+        if self.txn is None:
+            raise RuntimeError(f"{self.name} has no active transaction")
+        self.txn.commit()
+        self.txn = None
+
+    def abort(self) -> None:
+        if self.txn is None:
+            raise RuntimeError(f"{self.name} has no active transaction")
+        self.txn.abort()
+        self.txn = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Session({self.name!r}, dop={self.parallel_dop}, "
+            f"partial={self.partial_results})"
+        )

@@ -44,6 +44,13 @@ class Database:
         self.name = name
         self._schemas: dict[str, dict[str, Table]] = {DEFAULT_SCHEMA: {}}
         self._views: dict[str, dict[str, ViewDefinition]] = {DEFAULT_SCHEMA: {}}
+        #: bumped by every DDL so compiled plans can detect staleness
+        self.schema_version = 0
+
+    def bump_schema_version(self) -> None:
+        """Note a schema change not routed through this object (e.g.
+        CREATE INDEX mutates the Table directly)."""
+        self.schema_version += 1
 
     @staticmethod
     def _key(name: str) -> str:
@@ -55,6 +62,7 @@ class Database:
             raise CatalogError(f"schema {schema_name!r} already exists")
         self._schemas[key] = {}
         self._views[key] = {}
+        self.schema_version += 1
 
     def create_table(
         self, name: str, schema: Schema, schema_name: str = DEFAULT_SCHEMA
@@ -68,6 +76,7 @@ class Database:
             raise CatalogError(f"{name!r} already exists as a view")
         table = Table(name, schema)
         tables[key] = table
+        self.schema_version += 1
         return table
 
     def create_view(
@@ -83,6 +92,7 @@ class Database:
             raise CatalogError(f"object {name!r} already exists")
         view = ViewDefinition(name, sql_text, is_partitioned)
         views[key] = view
+        self.schema_version += 1
         return view
 
     def drop_table(self, name: str, schema_name: str = DEFAULT_SCHEMA) -> None:
@@ -91,6 +101,7 @@ class Database:
         if key not in tables:
             raise CatalogError(f"table {name!r} does not exist")
         del tables[key]
+        self.schema_version += 1
 
     def _tables_in(self, schema_name: str) -> dict[str, Table]:
         key = self._key(schema_name)
@@ -158,7 +169,16 @@ class Catalog:
     def __init__(self, default_database: str = "master"):
         self._databases: dict[str, Database] = {}
         self.default_database = default_database
+        self._version = 0
         self.create_database(default_database)
+
+    @property
+    def schema_version(self) -> int:
+        """Monotonic counter over every DDL on this server: database
+        creations plus each database's own schema version."""
+        return self._version + sum(
+            db.schema_version for db in self._databases.values()
+        )
 
     @staticmethod
     def _key(name: str) -> str:
@@ -170,6 +190,7 @@ class Catalog:
             raise CatalogError(f"database {name!r} already exists")
         database = Database(name)
         self._databases[key] = database
+        self._version += 1
         return database
 
     def database(self, name: Optional[str] = None) -> Database:

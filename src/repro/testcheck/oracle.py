@@ -19,6 +19,10 @@ row-for-row (as a collation-aware multiset):
 ``parallel``   same topology, ``SET PARALLEL_DOP 4`` — exchange
                operators run remote branches on concurrent workers,
                which must never change answers (DOP invariance)
+``cached``     same topology as ``distributed``; every query runs
+               *twice* through the same engine — a cold compile, then
+               a warm plan-cache hit — and both answers must match
+               the reference (a cached plan is not a different plan)
 =============  ========================================================
 
 The paper's claim under test: DHQP's remote rules participate in
@@ -62,7 +66,8 @@ from repro.types.intervals import SortKey
 
 #: configuration names, in the order they run
 CONFIGS = (
-    "local", "distributed", "ablated", "faulted", "traced", "parallel"
+    "local", "distributed", "ablated", "faulted", "traced", "parallel",
+    "cached",
 )
 
 
@@ -358,10 +363,12 @@ class Mismatch:
         actual_rows: list[tuple],
         network_by_config: Optional[dict[str, dict]] = None,
         trace_payload: Optional[dict] = None,
+        cache_info: Optional[dict] = None,
     ):
         self.case_id = case_id
         #: 'rows' (multiset differs), 'order' (ORDER BY violated),
         #: 'partial' (degraded answer not a subset of the reference),
+        #: 'cache' (warm rerun missed the plan cache or diverged),
         #: or 'error' (a configuration raised)
         self.kind = kind
         self.config = config
@@ -378,6 +385,10 @@ class Mismatch:
         #: when that configuration got far enough to produce one — CI
         #: writes it next to the mismatch report as a trace artifact
         self.trace_payload = trace_payload
+        #: the ``cached`` configuration's plan-cache evidence — the
+        #: cache key plus the cold/warm hit-miss statuses — so a cache
+        #: bug report pins down exactly which entry went wrong
+        self.cache_info = cache_info or {}
 
     def describe(self) -> str:
         lines = [
@@ -410,6 +421,8 @@ class Mismatch:
                     lines.append(
                         f"-- network [{config}/{server}] -- {interesting}"
                     )
+        if self.cache_info:
+            lines.append(f"-- plan cache [cached] -- {self.cache_info}")
         for config, plan in self.explain_by_config.items():
             lines.append(f"-- EXPLAIN [{config}] --")
             lines.extend(f"  {line}" for line in plan.splitlines())
@@ -510,6 +523,19 @@ class DifferentialRunner:
                 return result.trace.as_dict()
             return None
 
+        def cache_info() -> dict:
+            """Plan-cache evidence from the ``cached`` configuration's
+            runs so far: the cache key plus each run's hit/miss flag."""
+            info: dict = {}
+            cold = results.get("cached")
+            if cold is not None:
+                info["cache_key"] = cold.plan_cache_key
+                info["cold"] = cold.plan_cache_status
+            warm = results.get("cached-warm")
+            if warm is not None:
+                info["warm"] = warm.plan_cache_status
+            return info
+
         for name, world in worlds.items():
             if name == "faulted":
                 # per-case deterministic fault stream, independent of
@@ -545,6 +571,7 @@ class DifferentialRunner:
                     reference.rows, actual.rows,
                     network_by_config=networks(),
                     trace_payload=traced_trace(),
+                    cache_info=cache_info(),
                 )
         if query.order_keys:
             for name, result in results.items():
@@ -558,6 +585,60 @@ class DifferentialRunner:
                         network_by_config=networks(),
                     trace_payload=traced_trace(),
                     )
+        if "cached" in worlds:
+            # the plan-cache oracle's second leg: the same SQL through
+            # the same engine again must (a) hit the shared plan cache
+            # and (b) return the reference answer from the cached plan
+            try:
+                results["cached-warm"] = worlds["cached"].run(query)
+            except Exception:
+                return Mismatch(
+                    cid, "cache", "cached",
+                    f"warm rerun through the plan cache raised:\n"
+                    f"{traceback.format_exc()}",
+                    sql_by_config, explains(),
+                    reference.rows, [],
+                    network_by_config=networks(),
+                    trace_payload=traced_trace(),
+                    cache_info=cache_info(),
+                )
+            warm = results["cached-warm"]
+            if warm.plan_cache_status != "hit":
+                return Mismatch(
+                    cid, "cache", "cached",
+                    f"warm rerun did not hit the plan cache "
+                    f"(status={warm.plan_cache_status!r})",
+                    sql_by_config, explains(),
+                    reference.rows, warm.rows,
+                    network_by_config=networks(),
+                    trace_payload=traced_trace(),
+                    cache_info=cache_info(),
+                )
+            if not rowsets_equal(reference.rows, warm.rows):
+                return Mismatch(
+                    cid, "cache", "cached",
+                    f"cache-hit answer differs from the all-local "
+                    f"reference ({len(reference.rows)} vs "
+                    f"{len(warm.rows)} rows)",
+                    sql_by_config, explains(),
+                    reference.rows, warm.rows,
+                    network_by_config=networks(),
+                    trace_payload=traced_trace(),
+                    cache_info=cache_info(),
+                )
+            if query.order_keys and not is_sorted_by(
+                warm.rows, query.order_keys
+            ):
+                return Mismatch(
+                    cid, "cache", "cached",
+                    f"cache-hit rows violate ORDER BY keys "
+                    f"{query.order_keys}",
+                    sql_by_config, explains(),
+                    reference.rows, warm.rows,
+                    network_by_config=networks(),
+                    trace_payload=traced_trace(),
+                    cache_info=cache_info(),
+                )
         if partial_world is not None:
             try:
                 results["partial"] = partial_world.run(query)

@@ -1,0 +1,161 @@
+"""Property test: plan-cache freshness under interleaved mutation.
+
+A seeded fuzzer interleaves executions with every event that must
+invalidate a cached plan — DDL, statistics refresh, DML on a referenced
+table, Query Store ``force_plan``/``unforce_plan`` — and checks the
+engine's observed hit/miss/bypass statuses against an epoch-counting
+model:
+
+* a **hit** is legal only when nothing invalidating happened since the
+  plan compiled: same schema epoch, same statistics epoch, and no
+  write to a local table the plan reads;
+* while a query is **pinned** by the Query Store the cache is bypassed
+  entirely (``plan_cache_status is None``) — the pin always wins, and
+  unpinning forces a fresh compile;
+* every answer must equal a **twin engine** running the same statement
+  stream with its plan cache disabled (cache transparency: caching may
+  change compile counts, never rows).
+
+Failures embed the seed and the exact pytest command to replay it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Engine, NetworkChannel, ServerInstance
+
+pytestmark = pytest.mark.integration
+
+#: the query pool; value = the local table the plan reads (None when
+#: the statement only touches remote tables)
+QUERIES = {
+    "SELECT id, v FROM t WHERE v > 3": "t",
+    "SELECT COUNT(*) FROM t WHERE grp = 'a'": "t",
+    "SELECT id FROM east.master.dbo.rt WHERE v < 9": None,
+    "SELECT r.id, r.v FROM east.master.dbo.rt r "
+    "WHERE r.grp = 'x' ORDER BY r.id": None,
+    "SELECT l.id, r.v FROM t l, east.master.dbo.rt r "
+    "WHERE l.v = r.v": "t",
+}
+
+#: op mix: executions dominate so invalidations land on warm entries
+OPS = ("exec",) * 5 + ("ddl", "stats", "dml", "pin", "unpin")
+
+
+def _build_engine(plan_cache: bool) -> Engine:
+    engine = Engine("local")
+    engine.execute("CREATE TABLE t (id int, grp varchar(5), v int)")
+    engine.execute(
+        "INSERT INTO t VALUES "
+        + ", ".join(
+            f"({i}, '{'abc'[i % 3]}', {i * 7 % 23})" for i in range(20)
+        )
+    )
+    server = ServerInstance("east")
+    server.execute("CREATE TABLE rt (id int, grp varchar(5), v int)")
+    server.execute(
+        "INSERT INTO rt VALUES "
+        + ", ".join(
+            f"({100 + i}, '{'xyz'[i % 3]}', {i * 5 % 19})"
+            for i in range(15)
+        )
+    )
+    engine.add_linked_server(
+        "east", server, NetworkChannel("ch-east", latency_ms=0.5)
+    )
+    engine.plan_cache_enabled = plan_cache
+    if plan_cache:
+        # pins come from the Query Store, so it must be recording
+        engine.query_store_enabled = True
+    return engine
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_cache_freshness_against_epoch_model(seed):
+    repro = (
+        f"seed {seed} — repro: PYTHONPATH=src python -m pytest "
+        f"'tests/property/test_plan_cache_invalidation.py::"
+        f"test_cache_freshness_against_epoch_model[{seed}]'"
+    )
+    rng = random.Random(seed)
+    engine = _build_engine(plan_cache=True)
+    twin = _build_engine(plan_cache=False)
+
+    # -- the model: epochs + per-table write counters -------------------
+    schema_epoch = 0
+    stats_epoch = 0
+    writes = {"t": 0}
+    compiled: dict = {}  # sql -> snapshot at last compile
+    pinned: dict = {}  # sql -> query_hash
+    scratch = 0
+    sql_pool = sorted(QUERIES)
+
+    def snapshot(sql: str) -> tuple:
+        table = QUERIES[sql]
+        return (
+            schema_epoch,
+            stats_epoch,
+            writes[table] if table is not None else None,
+        )
+
+    for step in range(120):
+        op = rng.choice(OPS)
+        if op == "exec":
+            sql = rng.choice(sql_pool)
+            result = engine.execute(sql)
+            assert sorted(result.rows) == sorted(twin.execute(sql).rows), (
+                f"{repro}: step {step}: rows diverged for {sql!r}"
+            )
+            if sql in pinned:
+                expect = None
+            elif compiled.get(sql) == snapshot(sql):
+                expect = "hit"
+            else:
+                expect = "miss"
+            assert result.plan_cache_status == expect, (
+                f"{repro}: step {step}: {sql!r} expected "
+                f"{expect!r}, got {result.plan_cache_status!r}"
+            )
+            if expect == "miss":
+                compiled[sql] = snapshot(sql)
+        elif op == "ddl":
+            ddl = f"CREATE TABLE scratch{seed}_{scratch} (x int)"
+            scratch += 1
+            engine.execute(ddl)
+            twin.execute(ddl)
+            schema_epoch += 1
+        elif op == "stats":
+            engine.refresh_statistics()
+            twin.refresh_statistics()
+            stats_epoch += 1
+        elif op == "dml":
+            dml = (
+                f"INSERT INTO t VALUES "
+                f"({1000 + step}, 'd', {rng.randrange(25)})"
+            )
+            engine.execute(dml)
+            twin.execute(dml)
+            writes["t"] += 1
+        elif op == "pin":
+            sql = rng.choice(sql_pool)
+            entry = engine.query_store.lookup(sql)
+            if entry is None or sql in pinned:
+                continue
+            engine.force_plan(entry.query_hash, entry.active_fingerprint)
+            pinned[sql] = entry.query_hash
+            # the pin evicts any cached plan for the query
+            compiled.pop(sql, None)
+        elif op == "unpin":
+            if not pinned:
+                continue
+            sql = rng.choice(sorted(pinned))
+            engine.unforce_plan(pinned.pop(sql))
+            # a plan cached before the pin must not resurface after it
+            compiled.pop(sql, None)
+
+    # the interleaving must actually have exercised both cache paths
+    assert engine.plan_cache.hits > 0, repro
+    assert engine.plan_cache.misses > 0, repro

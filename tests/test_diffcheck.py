@@ -191,6 +191,10 @@ class TestHarnessCatchesInjectedBug:
             return original(self, flat, items)
 
         monkeypatch.setattr(Decoder, "_render_with_items", drop_where)
+        # the sanity run above cached the healthy compiled plans; the
+        # injected bug lives in compilation, so force a recompile
+        for world in worlds.values():
+            world.engine.plan_cache.clear()
         mismatch = runner.check_case(worlds, query, cid)
         assert mismatch is not None, (
             "harness failed to detect a dropped remote predicate"

@@ -309,8 +309,10 @@ class TestProfiling:
 class TestSystemViews:
     def test_view_names(self):
         assert system_view_names() == (
+            "dm_exec_cached_plans",
             "dm_exec_connections",
             "dm_exec_query_stats",
+            "dm_exec_sessions",
             "dm_os_performance_counters",
             "dm_server_health",
             "query_store_plan",

@@ -1,0 +1,353 @@
+"""Multi-session engine + shared plan cache: the concurrency battery.
+
+One engine, many sessions, many threads.  The battery hammers the
+shared compiled-plan cache with a mixed statement stream and checks the
+four properties a session layer must hold under concurrency:
+
+* **row correctness** — every statement returns exactly what a serial
+  single-user engine returns, regardless of interleaving;
+* **setting isolation** — ``SET PARALLEL_DOP`` / ``SET
+  PARTIAL_RESULTS`` on one session never leak into another session,
+  the default session, or the engine singletons (and a failed ``SET``
+  leaves its session untouched);
+* **exactly-once breaker trips** — N sessions discovering the same
+  dead server concurrently trip its circuit breaker once, not N times;
+* **trace attribution** — concurrent statements produce traces whose
+  spans and network attribution belong to their own session only.
+
+Thread interleavings are randomized by ``SESSIONS_SCHED_SEED`` (CI
+repeats the battery under several seeds); every failure message names
+the seed so a bad interleaving reproduces with::
+
+    SESSIONS_SCHED_SEED=<n> pytest tests/test_sessions.py
+"""
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro import Engine, FaultInjector, NetworkChannel, ServerInstance
+from repro.errors import ServerUnavailableError, SqlError
+from repro.resilience.health import OPEN
+
+pytestmark = pytest.mark.integration
+
+#: thread-scheduling randomization seed (varied across CI repeats)
+SCHED_SEED = int(os.environ.get("SESSIONS_SCHED_SEED", "0"))
+
+
+# ----------------------------------------------------------------------
+# topology: one local table + two remote servers
+# ----------------------------------------------------------------------
+def build_engine(tracing: bool = False) -> Engine:
+    local = Engine("local")
+    local.execute("CREATE TABLE lt (id int, grp varchar(5), v int)")
+    local.execute(
+        "INSERT INTO lt VALUES "
+        + ", ".join(
+            f"({i}, '{'abc'[i % 3]}', {i * 7 % 23})" for i in range(30)
+        )
+    )
+    for name, base in (("east", 100), ("west", 200)):
+        server = ServerInstance(name)
+        server.execute("CREATE TABLE rt (id int, grp varchar(5), v int)")
+        server.execute(
+            "INSERT INTO rt VALUES "
+            + ", ".join(
+                f"({base + i}, '{'xyz'[i % 3]}', {i * 5 % 19})"
+                for i in range(25)
+            )
+        )
+        local.add_linked_server(
+            name,
+            server,
+            NetworkChannel(f"ch-{name}", latency_ms=0.5, mb_per_second=50),
+        )
+    if tracing:
+        local.tracing_enabled = True
+    return local
+
+
+#: the mixed statement pool: local, remote, join, aggregate, TOP —
+#: all read-only so any interleaving must reproduce the serial answers
+STATEMENTS = (
+    "SELECT * FROM lt WHERE v > 5",
+    "SELECT grp, COUNT(*) FROM lt GROUP BY grp",
+    "SELECT id, v FROM east.master.dbo.rt WHERE v < 10",
+    "SELECT COUNT(*) FROM west.master.dbo.rt WHERE grp = 'x'",
+    "SELECT l.id, r.v FROM lt l, east.master.dbo.rt r WHERE l.v = r.v",
+    "SELECT e.id FROM east.master.dbo.rt e WHERE e.grp = 'y' ORDER BY e.id",
+    "SELECT TOP 5 id, v FROM west.master.dbo.rt ORDER BY v DESC, id",
+)
+
+
+def _run_threads(workers):
+    threads = [
+        threading.Thread(target=worker, name=f"battery-{i}")
+        for i, worker in enumerate(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "battery deadlocked"
+
+
+# ----------------------------------------------------------------------
+# the battery: N sessions x M mixed statements vs a serial reference
+# ----------------------------------------------------------------------
+class TestConcurrencyBattery:
+    N_SESSIONS = 6
+    STATEMENTS_EACH = 24
+
+    def test_mixed_battery_matches_serial_reference(self):
+        reference = build_engine()
+        expected = {
+            sql: sorted(reference.execute(sql).rows) for sql in STATEMENTS
+        }
+
+        engine = build_engine()
+        barrier = threading.Barrier(self.N_SESSIONS)
+        failures: list = []
+
+        def make_worker(index: int):
+            def worker():
+                rng = random.Random((SCHED_SEED << 16) ^ index)
+                session = engine.create_session(f"w{index}")
+                dop = rng.choice((1, 2, 4))
+                session.execute(f"SET PARALLEL_DOP {dop}")
+                barrier.wait()
+                for __ in range(self.STATEMENTS_EACH):
+                    sql = rng.choice(STATEMENTS)
+                    try:
+                        result = session.execute(sql)
+                    except Exception as error:  # noqa: BLE001
+                        failures.append(
+                            (SCHED_SEED, index, sql, repr(error))
+                        )
+                        return
+                    if sorted(result.rows) != expected[sql]:
+                        failures.append(
+                            (SCHED_SEED, index, sql, "rows diverged")
+                        )
+                    if result.session_id != session.session_id:
+                        failures.append(
+                            (SCHED_SEED, index, sql, "foreign session_id")
+                        )
+                    if rng.random() < 0.25:
+                        dop = rng.choice((1, 2, 4))
+                        session.execute(f"SET PARALLEL_DOP {dop}")
+                if session.parallel_dop != dop:
+                    failures.append(
+                        (SCHED_SEED, index, "SET", "session DOP drifted")
+                    )
+
+            return worker
+
+        _run_threads([make_worker(i) for i in range(self.N_SESSIONS)])
+        assert not failures, (
+            f"seed {SCHED_SEED} (repro: SESSIONS_SCHED_SEED={SCHED_SEED} "
+            f"pytest tests/test_sessions.py): {failures[:5]}"
+        )
+
+        # the shared cache carried the battery: one compile per distinct
+        # statement shape, everything else a hit
+        cache = engine.plan_cache
+        assert cache.hits > 0
+        total = cache.hits + cache.misses
+        assert cache.hits / total > 0.5, (cache.hits, cache.misses)
+
+        # nothing leaked into the engine-level (default session) API
+        assert engine.parallel_dop == 1
+        assert engine.optimizer.parallel_dop == 1
+        assert not engine.partial_results
+
+    def test_sessions_appear_in_dmv(self):
+        engine = build_engine()
+        engine.create_session("alpha")
+        engine.create_session("beta")
+        rows = engine.execute(
+            "SELECT name FROM sys.dm_exec_sessions"
+        ).rows
+        names = {row[0] for row in rows}
+        assert {"default", "alpha", "beta"} <= names
+
+
+# ----------------------------------------------------------------------
+# setting isolation (including the failed-SET atomicity regression)
+# ----------------------------------------------------------------------
+class TestSettingIsolation:
+    def test_settings_do_not_leak_between_sessions(self):
+        engine = build_engine()
+        a = engine.create_session("a")
+        b = engine.create_session("b")
+        a.execute("SET PARALLEL_DOP 4")
+        b.execute("SET PARTIAL_RESULTS ON")
+        assert a.parallel_dop == 4 and not a.partial_results
+        assert b.parallel_dop == 1 and b.partial_results
+        # the engine-level properties mirror the *default* session only
+        assert engine.parallel_dop == 1
+        assert not engine.partial_results
+
+    def test_engine_level_set_is_the_default_session(self):
+        engine = build_engine()
+        engine.execute("SET PARALLEL_DOP 2")
+        assert engine.parallel_dop == 2
+        assert engine.optimizer.parallel_dop == 2
+        # sessions minted afterwards still start from the defaults
+        assert engine.create_session().parallel_dop == 1
+
+    def test_failed_set_leaves_session_unchanged(self):
+        # regression: SET used to write through to the engine singleton,
+        # so a failed SET left half-applied state visible to everyone
+        engine = build_engine()
+        session = engine.create_session()
+        session.execute("SET PARALLEL_DOP 4")
+        with pytest.raises(SqlError):
+            session.execute("SET PARALLEL_DOP 0")
+        assert session.parallel_dop == 4
+        assert engine.parallel_dop == 1
+        assert engine.optimizer.parallel_dop == 1
+
+    def test_session_dop_never_sticks_to_the_optimizer(self):
+        # compiling under a session's DOP must restore the optimizer's
+        # own setting afterwards (mid-query mutation rollback)
+        engine = build_engine()
+        session = engine.create_session()
+        session.execute("SET PARALLEL_DOP 4")
+        session.execute("SELECT id, v FROM east.master.dbo.rt WHERE v < 10")
+        assert engine.optimizer.parallel_dop == 1
+        assert engine.parallel_dop == 1
+
+    def test_partial_results_session_bypasses_the_plan_cache(self):
+        engine = build_engine()
+        sql = "SELECT id, v FROM east.master.dbo.rt WHERE v < 10"
+        assert engine.execute(sql).plan_cache_status == "miss"
+        assert engine.execute(sql).plan_cache_status == "hit"
+        degraded = engine.create_session("degraded")
+        degraded.execute("SET PARTIAL_RESULTS ON")
+        # a may-be-partial answer must never be cached nor served from
+        # the cache (its plan shape depends on member health)
+        assert degraded.execute(sql).plan_cache_status is None
+
+    def test_transactions_are_per_session(self):
+        engine = build_engine()
+        writer = engine.create_session("writer")
+        reader = engine.create_session("reader")
+        writer.begin_transaction()
+        writer.execute("INSERT INTO lt VALUES (999, 'z', 1)")
+        writer.abort()
+        rows = reader.execute("SELECT COUNT(*) FROM lt WHERE id = 999").rows
+        assert rows == [(0,)]
+        assert writer.txn is None
+
+
+# ----------------------------------------------------------------------
+# exactly-once breaker trips under concurrent discovery
+# ----------------------------------------------------------------------
+class TestBreakerExactlyOnce:
+    N_SESSIONS = 4
+
+    def test_concurrent_sessions_trip_the_breaker_once(self):
+        engine = build_engine()
+        # a long open interval so statement ticks can't half-open the
+        # breaker mid-test (set before the breaker is minted)
+        engine.health.open_interval_ms = 1e9
+        engine.execute("SELECT id FROM east.master.dbo.rt")  # warm + cache
+        engine.linked_server("east").channel.fault_injector = FaultInjector(
+            seed=1, down=True
+        )
+
+        barrier = threading.Barrier(self.N_SESSIONS)
+        outcomes: list = []
+
+        def make_worker(index: int):
+            def worker():
+                session = engine.create_session(f"b{index}")
+                barrier.wait()
+                try:
+                    session.execute("SELECT id FROM east.master.dbo.rt")
+                except ServerUnavailableError:
+                    outcomes.append("unavailable")
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(repr(error))
+                else:
+                    outcomes.append("rows-from-a-dead-server")
+
+            return worker
+
+        _run_threads([make_worker(i) for i in range(self.N_SESSIONS)])
+        # every session saw the unavailability as such...
+        assert outcomes == ["unavailable"] * self.N_SESSIONS, outcomes
+        # ...but the shared breaker tripped exactly once
+        breaker = engine.health.breaker("east")
+        assert breaker.state == OPEN
+        assert breaker.trip_count == 1
+
+
+# ----------------------------------------------------------------------
+# trace attribution: spans never cross session boundaries
+# ----------------------------------------------------------------------
+class TestTraceIsolation:
+    #: one distinct statement per session, with its expected remote set
+    PER_SESSION = (
+        ("SELECT id, v FROM east.master.dbo.rt WHERE v < 10", {"east"}),
+        ("SELECT COUNT(*) FROM west.master.dbo.rt WHERE grp = 'x'", {"west"}),
+        ("SELECT grp, COUNT(*) FROM lt GROUP BY grp", set()),
+        ("SELECT e.id FROM east.master.dbo.rt e WHERE e.grp = 'y' "
+         "ORDER BY e.id", {"east"}),
+    )
+
+    def test_concurrent_traces_stay_per_session(self):
+        # serial reference: per-statement simulated network attribution
+        # on a warm (cache-hit) execution
+        reference = build_engine(tracing=True)
+        ref_net = {}
+        for sql, __ in self.PER_SESSION:
+            reference.execute(sql)  # warm metadata + plan cache
+            trace = reference.execute(sql).trace
+            ref_net[sql] = trace.spans("execute")[0].net_ms
+
+        engine = build_engine(tracing=True)
+        for sql, __ in self.PER_SESSION:
+            engine.execute(sql)  # warm through the default session
+
+        barrier = threading.Barrier(len(self.PER_SESSION))
+        collected: dict = {}
+
+        def make_worker(index: int, sql: str):
+            def worker():
+                session = engine.create_session(f"t{index}")
+                barrier.wait()
+                traces = [session.execute(sql).trace for __ in range(6)]
+                collected[session.session_id] = (sql, traces)
+
+            return worker
+
+        _run_threads(
+            [
+                make_worker(i, sql)
+                for i, (sql, __) in enumerate(self.PER_SESSION)
+            ]
+        )
+
+        servers_for = dict(self.PER_SESSION)
+        assert len(collected) == len(self.PER_SESSION)
+        for session_id, (sql, traces) in collected.items():
+            for trace in traces:
+                # the trace is stamped with its own session...
+                assert trace.session_id == session_id
+                # ...its remote spans only touch that statement's servers
+                touched = {
+                    span.attrs["server"]
+                    for span in trace.remote_command_spans()
+                }
+                assert touched == servers_for[sql], (sql, touched)
+                # ...and its network attribution equals the serial
+                # reference: nothing from a concurrent session bled in
+                execute_span = trace.spans("execute")[0]
+                assert execute_span.net_ms == pytest.approx(
+                    ref_net[sql], abs=1e-6
+                ), (sql, execute_span.net_ms, ref_net[sql])

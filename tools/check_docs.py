@@ -12,12 +12,13 @@ Fails (exit 1) when:
   document the oracle matrix and the seed-repro workflow, or
 * ``README.md`` lacks an "Observability" section, or its link to
   ``docs/OBSERVABILITY.md`` is missing, or ``docs/OBSERVABILITY.md``
-  does not document the span model, the Query Store views, and plan
-  forcing, or
+  does not document the span model, the Query Store views, plan
+  forcing, and the session / plan-cache DMVs and counters, or
 * ``README.md`` lacks an "Architecture" section, or its link to
   ``docs/ARCHITECTURE.md`` is missing, or ``docs/ARCHITECTURE.md``
-  does not cover the module map, the life of a query, and the
-  parallel execution / threading model.
+  does not cover the module map, the life of a query, the parallel
+  execution / threading model, and the session / shared-plan-cache
+  lifecycle.
 
 External links (http/https/mailto) and intra-page anchors are not
 checked — only the repo-relative ones we can verify offline.
@@ -85,7 +86,7 @@ def check_testing_doc() -> list[str]:
     problems = []
     # the oracle matrix: every configuration must be documented
     for config in ("`local`", "`distributed`", "`ablated`", "`faulted`",
-                   "`traced`", "`parallel`"):
+                   "`traced`", "`parallel`", "`cached`"):
         if config not in text:
             problems.append(
                 f"docs/TESTING.md: oracle matrix missing {config}"
@@ -103,14 +104,19 @@ def check_observability_doc() -> list[str]:
         return ["docs/OBSERVABILITY.md: missing"]
     text = path.read_text(encoding="utf-8")
     problems = []
-    # the span model and the full query-store DMV surface must stay
-    # documented
+    # the span model, the full query-store DMV surface, and the
+    # session / plan-cache telemetry must stay documented
     for needle in (
         "remote_command",
         "sys.query_store_query",
         "sys.query_store_plan",
         "sys.query_store_runtime_stats",
         "sys.query_store_regressions",
+        "sys.dm_exec_cached_plans",
+        "sys.dm_exec_sessions",
+        "plan_cache_hit",
+        "plan_cache.hits",
+        "session_id",
         "force_plan",
         "plan fingerprint",
         "tools/tracereport.py",
@@ -126,8 +132,9 @@ def check_architecture_doc() -> list[str]:
         return ["docs/ARCHITECTURE.md: missing"]
     text = path.read_text(encoding="utf-8")
     problems = []
-    # the module map, the end-to-end walkthrough, and the parallel
-    # execution / threading model must stay documented
+    # the module map, the end-to-end walkthrough, the parallel
+    # execution / threading model, and the session / plan-cache
+    # lifecycle must stay documented
     for needle in (
         "Module map",
         "Life of a query",
@@ -139,6 +146,10 @@ def check_architecture_doc() -> list[str]:
         "parallel_saved_ms",
         "SimulatedClock",
         "Threading model",
+        "`repro.session`",
+        "`repro.execution.plancache`",
+        "create_session",
+        "shared plan cache",
     ):
         if needle not in text:
             problems.append(f"docs/ARCHITECTURE.md: missing '{needle}'")
