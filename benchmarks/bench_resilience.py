@@ -22,13 +22,15 @@ then measures answer availability with one member hard-down.  Set
 
 import json
 import os
+import random
 from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import print_table
 from repro import Engine, FaultInjector, NetworkChannel, ServerInstance
-from repro.errors import NetworkError
+from repro.errors import NetworkError, TransactionInDoubtError
+from repro.resilience.faults import TwoPCFaultPlan
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 MEMBERS = 4
@@ -36,6 +38,11 @@ QUERIES = 20 if SMOKE else 80
 FAULT_RATES = (0.0, 0.10, 0.50) if SMOKE else (0.0, 0.10, 0.25, 0.50)
 DOWN_COUNTS = (0, 1) if SMOKE else (0, 1, 2)
 BASE_YEAR = 1992
+
+# E19 (commit availability): crash-injection probability per DML
+# statement, and statements per sweep cell
+CRASH_RATES = (0.0, 0.5, 1.0) if SMOKE else (0.0, 0.25, 0.5, 1.0)
+DML_STATEMENTS = 16 if SMOKE else 48
 
 JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_resilience.json"
 
@@ -344,6 +351,132 @@ def test_breaker_cuts_wasted_retry_time(benchmark):
             "fast_fails": fast_fails,
         },
     )
+
+
+def build_dml_federation(latency_ms: float = 1.0):
+    """Three-member partitioned view (two remote + one local) for the
+    E19 distributed-write sweep."""
+    local = Engine("local")
+    for name, (low, high) in (("r1", (0, 10)), ("r2", (10, 20))):
+        server = ServerInstance(name)
+        server.execute(
+            f"CREATE TABLE p_{name} (k int NOT NULL CHECK "
+            f"(k >= {low} AND k < {high}), v int)"
+        )
+        local.add_linked_server(
+            name, server, NetworkChannel(f"ch-{name}", latency_ms)
+        )
+    local.execute(
+        "CREATE TABLE p_loc (k int NOT NULL CHECK "
+        "(k >= 20 AND k < 30), v int)"
+    )
+    local.execute(
+        "CREATE VIEW pv AS SELECT * FROM r1.master.dbo.p_r1 "
+        "UNION ALL SELECT * FROM r2.master.dbo.p_r2 "
+        "UNION ALL SELECT * FROM p_loc"
+    )
+    local.execute("INSERT INTO pv VALUES (1, 0), (11, 0), (21, 0)")
+    return local
+
+
+def test_commit_availability_under_crash_injection(benchmark):
+    """E19 — commit availability under 2PC crash injection.
+
+    Multi-member UPDATEs run while a seeded :class:`TwoPCFaultPlan`
+    arms a random protocol-step crash (coordinator crash points plus
+    per-branch delivery faults) on a swept fraction of statements.
+    Availability is the fraction of statements whose effects are
+    eventually durable on every member: first-try commits plus in-doubt
+    transactions that recovery re-drives to the logged decision.  After
+    every statement the view must be uniform at the last committed
+    marker — a torn write on any member fails the bench."""
+
+    def sweep_cell(rate: float, seed: int = 7):
+        engine = build_dml_federation()
+        engine.metrics.reset()
+        rng = random.Random(seed)
+        first_try = in_doubt = rec_commit = rec_abort = 0
+        expected = 0
+        for i in range(1, DML_STATEMENTS + 1):
+            if rng.random() < rate:
+                plan = TwoPCFaultPlan(seed=seed * 1_000 + i)
+                plan.arm_random(("r1", "r2", "local"))
+                engine.dtc.crash_plan = plan
+            try:
+                engine.execute(f"UPDATE pv SET v = {i} WHERE v >= 0")
+                first_try += 1
+                expected = i
+            except TransactionInDoubtError:
+                in_doubt += 1
+                report = engine.dtc.recover()
+                # every in-doubt txn resolves to the logged decision
+                assert not report.unresolved
+                if report.committed:
+                    rec_commit += 1
+                    expected = i
+                else:
+                    rec_abort += 1
+            finally:
+                engine.dtc.crash_plan = None
+            # atomicity: after resolution the view is uniform at the
+            # last committed marker — no member kept a torn write
+            lo = engine.execute("SELECT MIN(v) FROM pv").scalar()
+            hi = engine.execute("SELECT MAX(v) FROM pv").scalar()
+            assert lo == hi == expected
+        assert rec_commit + rec_abort == in_doubt
+        committed = first_try + rec_commit
+        return {
+            "statements": DML_STATEMENTS,
+            "availability": committed / DML_STATEMENTS,
+            "committed_first_try": first_try,
+            "in_doubt": in_doubt,
+            "recovered_commit": rec_commit,
+            "recovered_abort": rec_abort,
+            "fsyncs": engine.metrics.value_of("dtc.fsyncs"),
+            "redeliveries": engine.metrics.value_of("dtc.redeliveries"),
+            "recoveries": engine.metrics.value_of("dtc.recoveries"),
+        }
+
+    cells = {}
+    rows = []
+    for rate in CRASH_RATES:
+        stats = sweep_cell(rate)
+        cells[f"{rate:.2f}"] = stats
+        rows.append(
+            (
+                f"{rate:.0%}",
+                f"{stats['availability']:.1%}",
+                stats["committed_first_try"],
+                stats["in_doubt"],
+                stats["recovered_commit"],
+                stats["recovered_abort"],
+                int(stats["fsyncs"]),
+            )
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "E19: commit availability under 2PC crash injection "
+        f"(3-member PV, {DML_STATEMENTS} UPDATEs/cell)",
+        ["crash rate", "availability", "1st-try", "in-doubt",
+         "rec-commit", "rec-abort", "fsyncs"],
+        rows,
+    )
+    # crash-free baseline: every commit lands first try, one forced
+    # decision flush per transaction
+    baseline = cells["0.00"]
+    assert baseline["availability"] == 1.0
+    assert baseline["in_doubt"] == 0
+    assert baseline["fsyncs"] >= DML_STATEMENTS
+    # full crash injection still parks + resolves rather than losing
+    # statements: every in-doubt transaction recovered, and both
+    # decision paths (re-driven commit, presumed abort) were exercised
+    chaos = cells[f"{CRASH_RATES[-1]:.2f}"]
+    assert chaos["in_doubt"] > 0
+    assert chaos["recoveries"] == chaos["in_doubt"]
+    total_rc = sum(c["recovered_commit"] for c in cells.values())
+    total_ra = sum(c["recovered_abort"] for c in cells.values())
+    assert total_rc > 0 and total_ra > 0
+    _record("commit_availability_2pc", cells)
 
 
 def test_retry_latency_cost(benchmark):

@@ -2,10 +2,29 @@
 
 "SQL Server uses the Microsoft Distributed Transaction Coordinator to
 ensure atomicity of transactions across data sources" (Section 2).
-This package implements classic presumed-abort two-phase commit over
-the :class:`~repro.storage.transactions.ResourceManager` protocol.
+This package implements crash-safe presumed-abort two-phase commit over
+the :class:`~repro.storage.transactions.ResourceManager` protocol: a
+write-ahead coordinator log (:mod:`repro.dtc.log`) whose only forced
+write is the commit decision, protocol-step crash injection via
+:class:`~repro.resilience.faults.TwoPCFaultPlan`, and an in-doubt
+recovery path (:meth:`TransactionCoordinator.recover`) that replays the
+durable log and re-drives decisions idempotently.
 """
 
-from repro.dtc.coordinator import DistributedTransaction, TransactionCoordinator
+from repro.dtc.coordinator import (
+    Branch,
+    DistributedTransaction,
+    RecoveryReport,
+    TransactionCoordinator,
+)
+from repro.dtc.log import CoordinatorLog, LogRecord, ReplayedTransaction
 
-__all__ = ["DistributedTransaction", "TransactionCoordinator"]
+__all__ = [
+    "Branch",
+    "CoordinatorLog",
+    "DistributedTransaction",
+    "LogRecord",
+    "RecoveryReport",
+    "ReplayedTransaction",
+    "TransactionCoordinator",
+]

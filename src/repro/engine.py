@@ -25,6 +25,7 @@ import itertools
 import json
 import threading
 import time
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.algebra.logical import LogicalOp
@@ -199,7 +200,6 @@ class ServerInstance:
         self.optimizer = Optimizer(
             {}, cost_model or CostModel(), optimizer_options
         )
-        self.dtc = TransactionCoordinator()
         self.fulltext_service: Optional[FullTextService] = None
         self._fulltext_bindings: Dict[tuple, FullTextBinding] = {}
         self._openrowset_providers: Dict[str, Callable[..., DataSource]] = {}
@@ -234,6 +234,12 @@ class ServerInstance:
         #: half-open probe after a few statements rather than never
         self.health = HealthRegistry(name)
         self.optimizer.health = self.health
+        #: the MS DTC role: crash-safe presumed-abort 2PC with a WAL on
+        #: the health registry's simulated clock, so coordinator-log
+        #: fsyncs and in-doubt ages share the engine's timeline
+        self.dtc = TransactionCoordinator(
+            name=f"{name}-dtc", clock=self.health.clock, metrics=self.metrics
+        )
         #: one bounded re-optimize-and-replan after a mid-query
         #: ServerUnavailableError (the member's breaker has tripped by
         #: then, so the second plan routes around it)
@@ -690,19 +696,26 @@ class ServerInstance:
             return self._execute_explain(
                 stmt, params, trace=trace, session=session
             )
-        if isinstance(stmt, ast.InsertStmt):
-            with self._write_lock:
-                result = self._execute_insert(stmt, params, txn)
-            self._note_local_write(stmt.table)
-            return result
-        if isinstance(stmt, ast.UpdateStmt):
-            with self._write_lock:
-                result = self._execute_update(stmt, params, txn)
-            self._note_local_write(stmt.table)
-            return result
-        if isinstance(stmt, ast.DeleteStmt):
-            with self._write_lock:
-                result = self._execute_delete(stmt, params, txn)
+        if isinstance(stmt, (ast.InsertStmt, ast.UpdateStmt, ast.DeleteStmt)):
+            # the DML statement span: distributed-transaction ``txn``
+            # spans (federation/dml.py) parent under it
+            verb = type(stmt).__name__[:-4].lower()
+            span = (
+                trace.span("dml", statement=verb)
+                if trace is not None
+                else nullcontext()
+            )
+            with span:
+                self._fence_in_doubt_write(stmt.table)
+                if isinstance(stmt, ast.InsertStmt):
+                    with self._write_lock:
+                        result = self._execute_insert(stmt, params, txn)
+                elif isinstance(stmt, ast.UpdateStmt):
+                    with self._write_lock:
+                        result = self._execute_update(stmt, params, txn)
+                else:
+                    with self._write_lock:
+                        result = self._execute_delete(stmt, params, txn)
             self._note_local_write(stmt.table)
             return result
         if isinstance(stmt, ast.CreateTableStmt):
@@ -736,6 +749,15 @@ class ServerInstance:
         if isinstance(stmt, ast.SetStmt):
             return self._execute_set(stmt, session)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def _fence_in_doubt_write(self, named: ast.NamedTable) -> None:
+        """Refuse a write against a table held by an in-doubt
+        distributed transaction — its prepared (undecided) effects are
+        visible in storage, so further writes would compound torn state.
+        PV DML re-checks per member inside :mod:`repro.federation.dml`.
+        """
+        if self.dtc.has_in_doubt():
+            self.dtc.check_accessible(tables={named.parts[-1]})
 
     def _note_ddl(self) -> None:
         """A schema change happened: purge every cached plan compiled
@@ -973,10 +995,27 @@ class ServerInstance:
             # while one collapsed onto a dead member degrades to empty
             members = pv_member_tables(root)
             root = normalize(root, self.optimizer.normalize_options())
+            route_around = self._partial_route_around(allow_probes)
+            # members fenced by an in-doubt distributed txn degrade
+            # exactly like breaker-open ones, stamped "in_doubt"
+            in_doubt = self.dtc.in_doubt_branches()
+
+            def unavailable(server_name: str) -> bool:
+                return (
+                    server_name.lower() in in_doubt
+                    or route_around(server_name)
+                )
+
+            def skip_reason(server_name: str) -> str:
+                if server_name.lower() in in_doubt:
+                    return "in_doubt"
+                return "circuit_open"
+
             root, skipped = prune_unavailable_branches(
                 root,
-                self._partial_route_around(allow_probes),
+                unavailable,
                 pv_members=members,
+                reason_for=skip_reason,
             )
             if skipped and trace is not None:
                 trace.event(
@@ -1122,6 +1161,16 @@ class ServerInstance:
                     entry_key, sql_text, optimization,
                     output_names, output_cids,
                 )
+        # -- in-doubt fence ---------------------------------------------
+        # A statement must not observe effects whose commit/abort fate
+        # is undecided.  Partial mode already pruned in-doubt PV members
+        # from the plan (stamped "in_doubt" in skipped_partitions), so
+        # whatever the plan still references is checked here in both
+        # modes — in-doubt local tables and non-PV remote reads fail
+        # fast with TransactionInDoubtError.
+        if self.dtc.has_in_doubt():
+            servers, tables = plan_references(optimization.plan)
+            self.dtc.check_accessible(servers=servers, tables=tables)
         profiler = PlanProfiler() if self.profiling_enabled else None
         replans = 0
         ctx = ExecutionContext(

@@ -120,5 +120,29 @@ class TransactionAborted(TransactionError):
     """Raised when a distributed transaction is rolled back."""
 
 
+class TransactionInDoubtError(TransactionError):
+    """A two-phase commit lost its coordinator (or a participant) after
+    prepare: the outcome is unknown until ``Coordinator.recover()``
+    replays the durable log and re-drives the decision.  Reads and
+    writes against an in-doubt member fail fast with this error so no
+    statement observes torn state.
+
+    ``txn_id`` identifies the in-doubt distributed transaction and
+    ``crash_point`` names the protocol step where the failure was
+    injected (None for statements merely *blocked by* an in-doubt
+    member rather than crashed themselves).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        txn_id: "int | None" = None,
+        crash_point: "str | None" = None,
+    ):
+        super().__init__(message)
+        self.txn_id = txn_id
+        self.crash_point = crash_point
+
+
 class FullTextError(ReproError):
     """Raised for full-text catalog or query-language errors."""

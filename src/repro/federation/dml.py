@@ -9,13 +9,15 @@ whole statement back atomically.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Dict, Optional
 
-from repro.errors import ConstraintError, ExecutionError
+from repro.errors import ConstraintError, ExecutionError, NetworkError
 from repro.federation.partitioned_view import (
     PartitionMember,
     partition_members,
 )
+from repro.network.channel import current_statement_scope
 from repro.sql import ast
 from repro.storage.catalog import Database, ViewDefinition
 from repro.types.datatypes import infer_type
@@ -25,6 +27,72 @@ def _render_value(value: Any) -> str:
     if value is None:
         return "NULL"
     return infer_type(value).render_literal(value)
+
+
+class _RemoteBranch:
+    """Resource-manager wrapper for a remote member's transaction branch.
+
+    2PC protocol messages (PREPARE/COMMIT/ABORT) traverse the member's
+    :class:`~repro.network.channel.NetworkChannel` as control messages
+    *before* the remote branch acts, so injected channel faults hit the
+    protocol exactly like any other remote command — and because the
+    fault fires before the remote side executes, a retried message never
+    double-applies.  ABORT tolerates an unreachable peer: under presumed
+    abort a participant that never saw a commit decision rolls back
+    unilaterally, so the coordinator's sweep must not wedge on it.
+    """
+
+    def __init__(self, server: Any, rm: Any):
+        self.server = server
+        self.rm = rm
+
+    @property
+    def channel(self) -> Any:
+        return self.server.channel
+
+    def _send(self, verb: str) -> None:
+        name = getattr(self.rm, "name", "txn")
+        self.server.channel.send_command(f"DTC {verb} {name}")
+
+    def prepare(self) -> bool:
+        self._send("PREPARE")
+        return self.rm.prepare()
+
+    def commit(self) -> None:
+        self._send("COMMIT")
+        self.rm.commit()
+
+    def abort(self) -> None:
+        try:
+            self._send("ABORT")
+        except NetworkError:
+            pass  # presumed abort: the member rolls back on its own
+        self.rm.abort()
+
+    def touched_tables(self) -> frozenset:
+        tables = getattr(self.rm, "touched_tables", None)
+        return frozenset(tables()) if callable(tables) else frozenset()
+
+
+def _fail_if_in_doubt(engine: Any, members: list[PartitionMember]) -> None:
+    """The in-doubt resolver gate: refuse DML that would touch a member
+    (or local table) held by an in-doubt distributed transaction."""
+    engine.dtc.check_accessible(
+        servers={m.server_name for m in members if m.is_remote},
+        tables={m.table_name for m in members},
+    )
+
+
+def _txn_span(session: "_DmlSession") -> Any:
+    """A ``txn`` trace span parented under the current statement span."""
+    trace, __ = current_statement_scope()
+    if trace is None:
+        return nullcontext()
+    return trace.span(
+        "txn",
+        txn_id=session.dtxn.txn_id,
+        coordinator=session.engine.dtc.name,
+    )
 
 
 class _DmlSession:
@@ -56,7 +124,7 @@ class _DmlSession:
             self.remote_sessions[key] = session
             branch = session.begin_transaction()
             self.remote_txns[key] = branch
-            self.dtxn.enlist(member.server_name, branch)
+            self.dtxn.enlist(member.server_name, _RemoteBranch(server, branch))
         return self.remote_sessions[key]
 
     def execute_remote(self, member: PartitionMember, sql_text: str) -> None:
@@ -82,6 +150,8 @@ class _DmlSession:
         self.engine.dtc.commit(self.dtxn)
 
     def abort(self) -> None:
+        if self.dtxn.state == self.dtxn.IN_DOUBT:
+            return  # only recovery may resolve an in-doubt transaction
         self.engine.dtc.abort(self.dtxn)
 
 
@@ -110,6 +180,7 @@ def insert_into_partitioned_view(
     params: Optional[Dict[str, Any]],
 ) -> int:
     members = _resolve_members(engine, database, schema_name, view)
+    _fail_if_in_doubt(engine, members)
     if stmt.select is not None:
         source = engine._execute_select(stmt.select, params)
         raw_rows = source.rows
@@ -136,29 +207,34 @@ def insert_into_partitioned_view(
         reference_schema.ordinal_of(partition_column)
     ].type
     session = _DmlSession(engine)
-    try:
-        count = 0
-        for raw in raw_rows:
-            value = partition_type.validate(raw[partition_ordinal])
-            member = _route(members, value)
-            if member.is_remote:
-                sql_text = (
-                    f"INSERT INTO {member.database_name or 'master'}."
-                    f"{member.schema_name}.{member.table_name} "
-                    f"({', '.join(names)}) VALUES "
-                    f"({', '.join(_render_value(v) for v in raw)})"
-                )
-                session.execute_remote(member, sql_text)
-            else:
-                table = database.table(member.table_name, member.schema_name)
-                arranged = engine._arrange_insert_row(table, list(names), raw)
-                table.insert(arranged, txn=session.local_transaction())
-            count += 1
-        session.commit()
-        return count
-    except Exception:
-        session.abort()
-        raise
+    with _txn_span(session):
+        try:
+            count = 0
+            for raw in raw_rows:
+                value = partition_type.validate(raw[partition_ordinal])
+                member = _route(members, value)
+                if member.is_remote:
+                    sql_text = (
+                        f"INSERT INTO {member.database_name or 'master'}."
+                        f"{member.schema_name}.{member.table_name} "
+                        f"({', '.join(names)}) VALUES "
+                        f"({', '.join(_render_value(v) for v in raw)})"
+                    )
+                    session.execute_remote(member, sql_text)
+                else:
+                    table = database.table(
+                        member.table_name, member.schema_name
+                    )
+                    arranged = engine._arrange_insert_row(
+                        table, list(names), raw
+                    )
+                    table.insert(arranged, txn=session.local_transaction())
+                count += 1
+            session.commit()
+            return count
+        except Exception:
+            session.abort()
+            raise
 
 
 def update_partitioned_view(
@@ -173,6 +249,7 @@ def update_partitioned_view(
     updates that would move a row across partitions are rejected, as in
     SQL Server 2000's first release of partitioned views."""
     members = _resolve_members(engine, database, schema_name, view)
+    _fail_if_in_doubt(engine, members)
     partition_column = members[0].partition_column
     assignments_touch_partition = partition_column is not None and any(
         name.lower() == partition_column.lower()
@@ -184,17 +261,18 @@ def update_partitioned_view(
             "is not supported; DELETE + INSERT instead"
         )
     session = _DmlSession(engine)
-    try:
-        count = 0
-        for member in members:
-            count += _update_one_member(
-                engine, database, session, member, stmt, params
-            )
-        session.commit()
-        return count
-    except Exception:
-        session.abort()
-        raise
+    with _txn_span(session):
+        try:
+            count = 0
+            for member in members:
+                count += _update_one_member(
+                    engine, database, session, member, stmt, params
+                )
+            session.commit()
+            return count
+        except Exception:
+            session.abort()
+            raise
 
 
 def _update_one_member(
@@ -251,39 +329,45 @@ def delete_from_partitioned_view(
     params: Optional[Dict[str, Any]],
 ) -> int:
     members = _resolve_members(engine, database, schema_name, view)
+    _fail_if_in_doubt(engine, members)
     session = _DmlSession(engine)
-    try:
-        count = 0
-        for member in members:
-            if member.is_remote:
-                where_sql = (
-                    f" WHERE {_render_where(engine, stmt.where, params)}"
-                    if stmt.where is not None
-                    else ""
-                )
-                sql_text = (
-                    f"DELETE FROM {member.database_name or 'master'}."
-                    f"{member.schema_name}.{member.table_name}{where_sql}"
-                )
-                session.execute_remote(member, sql_text)
-            else:
-                table = database.table(member.table_name, member.schema_name)
-                predicate = engine._bind_table_predicate(table, stmt.where)
-                matching = list(
-                    (rid, row)
-                    for rid, row in table.scan()
-                    if predicate is None
-                    or predicate(row, params or {}) is True
-                )
-                txn = session.local_transaction()
-                for rid, __ in matching:
-                    table.delete(rid, txn=txn)
-                    count += 1
-        session.commit()
-        return count
-    except Exception:
-        session.abort()
-        raise
+    with _txn_span(session):
+        try:
+            count = 0
+            for member in members:
+                if member.is_remote:
+                    where_sql = (
+                        f" WHERE {_render_where(engine, stmt.where, params)}"
+                        if stmt.where is not None
+                        else ""
+                    )
+                    sql_text = (
+                        f"DELETE FROM {member.database_name or 'master'}."
+                        f"{member.schema_name}.{member.table_name}{where_sql}"
+                    )
+                    session.execute_remote(member, sql_text)
+                else:
+                    table = database.table(
+                        member.table_name, member.schema_name
+                    )
+                    predicate = engine._bind_table_predicate(
+                        table, stmt.where
+                    )
+                    matching = list(
+                        (rid, row)
+                        for rid, row in table.scan()
+                        if predicate is None
+                        or predicate(row, params or {}) is True
+                    )
+                    txn = session.local_transaction()
+                    for rid, __ in matching:
+                        table.delete(rid, txn=txn)
+                        count += 1
+            session.commit()
+            return count
+        except Exception:
+            session.abort()
+            raise
 
 
 def _member_schema(engine: Any, database: Database, member: PartitionMember):

@@ -197,6 +197,28 @@ def _dm_server_health(engine: Any) -> tuple[Columns, list[tuple]]:
     return columns, rows
 
 
+def _dm_tran_active_transactions(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per active or in-doubt distributed transaction.
+
+    ``in_doubt_age_ms`` is how long an in-doubt transaction has awaited
+    recovery (NULL for active ones); ``logged_decision`` is what the
+    durable coordinator log will resolve it to (``commit`` when the
+    decision record survived, ``abort`` by presumption otherwise).
+    """
+    columns: Columns = [
+        ("transaction_id", INT),
+        ("state", varchar(16)),
+        ("branch_count", INT),
+        ("branches", varchar()),
+        ("in_doubt_age_ms", FLOAT),
+        ("logged_decision", varchar(16)),
+        ("crash_point", varchar(64)),
+    ]
+    dtc = getattr(engine, "dtc", None)
+    rows = dtc.transaction_rows() if dtc is not None else []
+    return columns, rows
+
+
 def _query_store_query(engine: Any) -> tuple[Columns, list[tuple]]:
     """One row per distinct (normalized) query the store has seen."""
     columns: Columns = [
@@ -396,6 +418,7 @@ _VIEWS = {
     "dm_exec_query_stats": _dm_exec_query_stats,
     "dm_os_performance_counters": _dm_os_performance_counters,
     "dm_server_health": _dm_server_health,
+    "dm_tran_active_transactions": _dm_tran_active_transactions,
     "query_store_query": _query_store_query,
     "query_store_plan": _query_store_plan,
     "query_store_runtime_stats": _query_store_runtime_stats,

@@ -30,6 +30,9 @@ from repro.resilience.faults import (
     OK,
     TIMEOUT,
     TRANSIENT,
+    TWO_PC_CRASH_POINTS,
+    TWO_PC_DELIVERY_FAULTS,
+    TwoPCFaultPlan,
 )
 from repro.resilience.health import (
     CLOSED,
@@ -56,6 +59,9 @@ __all__ = [
     "TRANSIENT",
     "TIMEOUT",
     "DOWN",
+    "TwoPCFaultPlan",
+    "TWO_PC_CRASH_POINTS",
+    "TWO_PC_DELIVERY_FAULTS",
     "CircuitBreaker",
     "HealthRegistry",
     "SimulatedClock",

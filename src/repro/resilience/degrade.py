@@ -105,7 +105,9 @@ def pv_member_tables(root: LogicalOp) -> frozenset:
 
 
 def _branch_skips(
-    branch: LogicalOp, down: frozenset
+    branch: LogicalOp,
+    down: frozenset,
+    reason_for: Callable[[str], str],
 ) -> List[SkippedPartition]:
     entries: List[SkippedPartition] = []
     stack = [branch]
@@ -116,7 +118,7 @@ def _branch_skips(
                 SkippedPartition(
                     node.table.server,
                     node.table.qualified_name,
-                    "circuit_open",
+                    reason_for(node.table.server),
                 )
             )
         stack.extend(node.inputs)
@@ -127,6 +129,7 @@ def prune_unavailable_branches(
     root: LogicalOp,
     is_down: Callable[[str], bool],
     pv_members: frozenset = frozenset(),
+    reason_for: Optional[Callable[[str], str]] = None,
 ) -> Tuple[LogicalOp, List[SkippedPartition]]:
     """Drop UnionAll branches that read from unavailable servers.
 
@@ -144,8 +147,15 @@ def prune_unavailable_branches(
     server that are *not* known PV members are left in place — they
     have no healthy sibling to degrade to, so they keep fail-stop
     semantics even in partial mode.
+
+    ``reason_for`` maps a server name to the skip reason recorded on
+    its :class:`SkippedPartition` (default ``"circuit_open"``); the
+    engine uses it to stamp ``"in_doubt"`` on members fenced off by an
+    unresolved distributed transaction rather than a tripped breaker.
     """
     skipped: List[SkippedPartition] = []
+    if reason_for is None:
+        reason_for = lambda server: "circuit_open"  # noqa: E731
 
     def visit(op: LogicalOp) -> LogicalOp:
         new_inputs = tuple(visit(child) for child in op.inputs)
@@ -159,7 +169,7 @@ def prune_unavailable_branches(
                 s for s in subtree_servers(branch) if is_down(s)
             )
             if down:
-                skipped.extend(_branch_skips(branch, down))
+                skipped.extend(_branch_skips(branch, down, reason_for))
             else:
                 live.append((branch, branch_map))
         if len(live) == len(op.inputs):
@@ -197,7 +207,7 @@ def prune_unavailable_branches(
                 SkippedPartition(
                     op.table.server,
                     op.table.qualified_name,
-                    "circuit_open",
+                    reason_for(op.table.server),
                 )
             )
             return EmptyTable(op.table.columns)

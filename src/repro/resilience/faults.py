@@ -137,3 +137,99 @@ class FaultInjector:
             f"FaultInjector(seed={self.seed}, transient={self.transient_rate}, "
             f"timeout={self.timeout_rate}, slow={self.slow_factor}x, {state})"
         )
+
+
+# ======================================================================
+# two-phase-commit protocol-step crash points
+# ======================================================================
+
+#: coordinator-side crash points, in protocol order.  Each one models
+#: the coordinator process dying at that exact step: the volatile log
+#: tail is lost, prepared participants are left in doubt, and only
+#: ``Coordinator.recover()`` (replaying the durable log) resolves them.
+TWO_PC_CRASH_POINTS = (
+    # before any PREPARE is sent: no branch holds locks, presumed abort
+    "coordinator_before_prepare",
+    # all votes collected, decision not yet logged: presumed abort
+    "coordinator_after_prepare",
+    # commit decision appended but NOT flushed: the record is lost with
+    # the volatile tail, so recovery must still presume abort
+    "coordinator_after_decision_append",
+    # commit decision durable, no participant told yet: recovery must
+    # re-drive COMMIT to every prepared branch
+    "coordinator_after_decision_flush",
+    # died between branch commits: some members committed, the rest are
+    # in doubt — the canonical "torn partitioned view" hazard
+    "coordinator_mid_commit",
+    # every branch acked but the forget record was never written:
+    # recovery re-delivers COMMIT, which must be idempotent
+    "coordinator_before_forget",
+)
+
+#: participant/message fault kinds; armed as ``"<kind>:<branch>"``.
+TWO_PC_DELIVERY_FAULTS = (
+    # the branch applied COMMIT but the ack was lost: the coordinator
+    # retries and the branch must treat the duplicate as a no-op
+    "commit_ack_lost",
+    # the branch is unreachable between its prepare-ack and the commit
+    # delivery: the txn stays in doubt until recovery re-drives it
+    "participant_down_on_commit",
+)
+
+
+class TwoPCFaultPlan:
+    """Seedable crash/fault script for the 2PC coordinator.
+
+    The FaultInjector above decides per *message*; this plan decides
+    per *protocol step*.  Steps are armed explicitly (``arm``) or drawn
+    from the seeded rng (``arm_random``), and each armed step fires
+    exactly once — ``should_fire`` consumes it — so a recovery pass
+    re-driving the same step does not crash again unless re-armed.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._armed: set[str] = set()
+        #: steps that actually fired, in order (test/bench evidence)
+        self.fired: list[str] = []
+
+    def arm(self, step: str) -> None:
+        """Arm one crash/fault step (delivery faults as ``kind:branch``)."""
+        self._armed.add(step)
+
+    def arm_random(self, branch_names: "tuple[str, ...]" = ()) -> str:
+        """Arm one step drawn uniformly from the full crash-point
+        matrix: every coordinator crash point plus every delivery fault
+        against every named branch."""
+        pool = list(TWO_PC_CRASH_POINTS)
+        for kind in TWO_PC_DELIVERY_FAULTS:
+            pool.extend(f"{kind}:{name}" for name in branch_names)
+        step = self._rng.choice(pool)
+        self.arm(step)
+        return step
+
+    def should_fire(self, step: str) -> bool:
+        """Consume and fire ``step`` if armed (one-shot)."""
+        if step in self._armed:
+            self._armed.discard(step)
+            self.fired.append(step)
+            return True
+        return False
+
+    @property
+    def armed(self) -> frozenset:
+        return frozenset(self._armed)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        if seed is not None:
+            self.seed = seed
+        self._rng = random.Random(self.seed)
+        self._armed.clear()
+        self.fired = []
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoPCFaultPlan(seed={self.seed}, armed={sorted(self._armed)}, "
+            f"fired={self.fired})"
+        )

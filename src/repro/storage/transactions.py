@@ -75,6 +75,10 @@ class LocalTransaction:
 
     # -- ResourceManager protocol -------------------------------------------
     def prepare(self) -> bool:
+        # idempotent re-delivery: a duplicate PREPARE (retried after a
+        # lost ack) re-affirms the existing yes vote
+        if self.state == self.PREPARED:
+            return True
         self._require_active()
         if self.fail_on_prepare:
             self.abort()
@@ -83,6 +87,10 @@ class LocalTransaction:
         return True
 
     def commit(self) -> None:
+        # idempotent re-delivery: recovery may re-drive COMMIT to a
+        # branch whose ack was lost after it already committed
+        if self.state == self.COMMITTED:
+            return
         if self.state not in (self.ACTIVE, self.PREPARED):
             raise TransactionError(
                 f"cannot commit transaction in state {self.state}"
@@ -91,6 +99,8 @@ class LocalTransaction:
         self.state = self.COMMITTED
 
     def abort(self) -> None:
+        if self.state == self.ABORTED:
+            return
         if self.state in (self.COMMITTED,):
             raise TransactionError("cannot abort a committed transaction")
         # undo in reverse order; bypass table DML hooks to avoid re-logging
@@ -118,6 +128,15 @@ class LocalTransaction:
     @property
     def pending_actions(self) -> int:
         return len(self._undo)
+
+    def touched_tables(self) -> frozenset:
+        """Names of tables with pending (uncommitted) changes — what the
+        in-doubt resolver must fence off while this branch's fate is
+        undecided."""
+        return frozenset(
+            table.name for __, table, *_ in self._undo
+            if getattr(table, "name", None)
+        )
 
     def __repr__(self) -> str:
         return f"LocalTransaction({self.name}, {self.state})"

@@ -1,0 +1,250 @@
+"""The ``atomic`` oracle: crash 2PC mid-protocol, recover, diff.
+
+The eighth differential configuration is not a SELECT oracle: it drives
+seeded DML through the distributed partitioned view with a crash armed
+at a random 2PC protocol step (every coordinator crash point plus every
+per-branch delivery fault — the full matrix in
+:data:`repro.resilience.faults.TWO_PC_CRASH_POINTS` /
+:data:`~repro.resilience.faults.TWO_PC_DELIVERY_FAULTS`), resolves any
+in-doubt transaction through :meth:`TransactionCoordinator.recover`,
+and then requires every member to be **all-or-nothing** against a
+single-engine reference that applied exactly the statements that
+committed.
+
+Four properties are checked per statement:
+
+1. *atomicity* — after resolution, ``SELECT * FROM pv`` on the
+   distributed world equals the reference multiset (no torn writes);
+2. *fail-fast* — while a transaction is in doubt, reads through the
+   view raise :class:`~repro.errors.TransactionInDoubtError` rather
+   than observing prepared-but-undecided effects;
+3. *resolution* — recovery resolves every in-doubt transaction to the
+   logged decision (commit iff the decision record was flushed);
+4. *idempotency* — a second recovery pass is a no-op.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import TransactionAborted, TransactionInDoubtError
+from repro.resilience.faults import TwoPCFaultPlan
+from repro.testcheck.oracle import (
+    DiffReport,
+    Mismatch,
+    OracleWorld,
+    build_world,
+    canonical_rows,
+    rowsets_equal,
+)
+from repro.testcheck.schema import PV_YEARS, generate_schema
+
+#: the all-members probe compared after every statement
+PROBE_SQL = "SELECT k, pdate, val, tag FROM pv"
+
+#: DML statements driven per seed
+STATEMENTS_PER_SEED = 8
+
+
+def atomic_case_id(seed: int, statement_index: int) -> str:
+    """Atomic cases are namespaced ``a<seed>:<index>`` so the plain
+    query-oracle case ids stay parseable as integers."""
+    return f"a{seed}:{statement_index}"
+
+
+def _render(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def _generate_statement(rng: random.Random, next_key: list) -> str:
+    """One seeded DML statement against the partitioned view.
+
+    Inserts may span partition years (multi-branch transactions are
+    where torn commits hide); updates and deletes fan out to every
+    member.  Keys from a private high counter keep inserts collision-
+    free without consulting table state.
+    """
+    kind = rng.choice(("insert", "insert", "update", "delete"))
+    if kind == "insert":
+        rows = []
+        for __ in range(rng.randint(1, 3)):
+            year = rng.choice(PV_YEARS)
+            key = next_key[0]
+            next_key[0] += 1
+            rows.append(
+                f"({key}, '{year}-{rng.randint(1, 12)}-{rng.randint(1, 27)}',"
+                f" {rng.randint(0, 50)}, {_render(rng.choice(['x', 'y', None]))})"
+            )
+        return (
+            "INSERT INTO pv (k, pdate, val, tag) VALUES "
+            + ", ".join(rows)
+        )
+    if kind == "update":
+        predicate = rng.choice(
+            (
+                f"val < {rng.randint(1, 8)}",
+                f"k BETWEEN {rng.randint(0, 10)} AND {rng.randint(11, 30)}",
+                f"tag = {_render(rng.choice(['x', 'y']))}",
+            )
+        )
+        return f"UPDATE pv SET val = {rng.randint(0, 99)} WHERE {predicate}"
+    low = rng.randint(0, 25)
+    return f"DELETE FROM pv WHERE k BETWEEN {low} AND {low + rng.randint(0, 2)}"
+
+
+def _probe_rows(world: OracleWorld) -> list[tuple]:
+    return world.engine.execute(PROBE_SQL).rows
+
+
+def _mismatch(
+    case: str,
+    detail: str,
+    sql: str,
+    reference_rows: list[tuple],
+    actual_rows: list[tuple],
+) -> Mismatch:
+    return Mismatch(
+        case_id=case,
+        kind="atomic",
+        config="distributed",
+        detail=detail,
+        sql_by_config={"distributed": sql, "local": sql},
+        explain_by_config={},
+        reference_rows=canonical_rows(reference_rows),
+        actual_rows=canonical_rows(actual_rows),
+    )
+
+
+def run_atomic_battery(
+    seed: int, n_statements: int = STATEMENTS_PER_SEED
+) -> list[Mismatch]:
+    """Drive ``n_statements`` crash-injected DML statements for one
+    schema seed; returns every atomicity violation found (empty = the
+    all-or-nothing guarantee held at every protocol step)."""
+    schema = generate_schema(seed)
+    reference = build_world(schema, "local")
+    subject = build_world(schema, "distributed")
+    engine = subject.engine
+    member_hosts = tuple(
+        dict.fromkeys(m.host for m in schema.view.members)
+    )
+    rng = random.Random(seed * 7919 + 11)
+    next_key = [100_000]  # far above generated member keys
+    mismatches: list[Mismatch] = []
+
+    for index in range(n_statements):
+        case = atomic_case_id(seed, index)
+        sql = _generate_statement(rng, next_key)
+        plan = TwoPCFaultPlan(seed=seed * 1_000 + index)
+        armed = plan.arm_random(member_hosts)
+        engine.dtc.crash_plan = plan
+        committed: Optional[bool] = None
+        try:
+            try:
+                engine.execute(sql)
+                committed = True
+            except TransactionAborted:
+                committed = False
+            except TransactionInDoubtError:
+                # fail-fast check: while any branch of the in-doubt
+                # txn is still undecided (enlisted/prepared), reads
+                # through the view must fence.  A crash after every
+                # branch committed (e.g. coordinator_before_forget)
+                # leaves no torn state, so reads legitimately proceed.
+                undecided = any(
+                    branch.state not in ("committed", "aborted")
+                    for txn in engine.dtc.in_doubt_transactions()
+                    for branch in txn.branches
+                )
+                if undecided:
+                    try:
+                        rows = _probe_rows(subject)
+                        mismatches.append(
+                            _mismatch(
+                                case,
+                                f"read through the view succeeded while "
+                                f"txn in doubt (armed {armed})",
+                                sql,
+                                _probe_rows(reference),
+                                rows,
+                            )
+                        )
+                    except TransactionInDoubtError:
+                        pass
+                report = engine.dtc.recover()
+                if report.unresolved:
+                    mismatches.append(
+                        _mismatch(
+                            case,
+                            f"recovery left transactions unresolved: "
+                            f"{report.unresolved} (armed {armed})",
+                            sql,
+                            [],
+                            [],
+                        )
+                    )
+                    break
+                committed = bool(report.committed)
+        finally:
+            engine.dtc.crash_plan = None
+
+        if engine.dtc.has_in_doubt():
+            mismatches.append(
+                _mismatch(
+                    case,
+                    f"in-doubt transactions remain after resolution "
+                    f"(armed {armed})",
+                    sql,
+                    [],
+                    [],
+                )
+            )
+            break
+        # idempotency: recovery with nothing in doubt is a no-op
+        rerun = engine.dtc.recover()
+        if rerun.resolved or rerun.unresolved:
+            mismatches.append(
+                _mismatch(
+                    case,
+                    f"second recovery pass was not a no-op: {rerun!r}",
+                    sql,
+                    [],
+                    [],
+                )
+            )
+        if committed:
+            reference.engine.execute(sql)
+        expected = _probe_rows(reference)
+        actual = _probe_rows(subject)
+        if not rowsets_equal(expected, actual):
+            outcome = "committed" if committed else "aborted"
+            mismatches.append(
+                _mismatch(
+                    case,
+                    f"partitioned view diverged from reference after "
+                    f"{outcome} statement (armed {armed}, "
+                    f"fired {plan.fired})",
+                    sql,
+                    expected,
+                    actual,
+                )
+            )
+            break
+    return mismatches
+
+
+def run_atomic_seeds(
+    seeds, n_statements: int = STATEMENTS_PER_SEED
+) -> DiffReport:
+    """The multi-seed crash-recovery fuzz entry point used by CI."""
+    report = DiffReport()
+    for seed in seeds:
+        found = run_atomic_battery(seed, n_statements)
+        report.cases_run += n_statements
+        report.mismatches.extend(found)
+    return report

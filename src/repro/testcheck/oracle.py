@@ -369,7 +369,9 @@ class Mismatch:
         #: 'rows' (multiset differs), 'order' (ORDER BY violated),
         #: 'partial' (degraded answer not a subset of the reference),
         #: 'cache' (warm rerun missed the plan cache or diverged),
-        #: or 'error' (a configuration raised)
+        #: 'error' (a configuration raised), or 'atomic' (crash-injected
+        #: DML left a partitioned view torn, readable while in doubt,
+        #: or unresolved after recovery — see testcheck/atomic.py)
         self.kind = kind
         self.config = config
         self.detail = detail

@@ -1,0 +1,452 @@
+"""Durable 2PC: coordinator log, crash matrix, in-doubt recovery.
+
+Covers the presumed-abort protocol end to end: the write-ahead
+coordinator log and its replay, the coordinator state machine (illegal
+transitions, idempotent re-delivery, aggregated abort sweeps), every
+injected protocol-step crash point with all-or-nothing verification,
+the in-doubt resolver fencing reads/writes, partial-results degradation
+around in-doubt members, and the ``sys.dm_tran_active_transactions``
+DMV plus ``dtc.*`` counters.
+"""
+
+import pytest
+
+from repro import Engine, NetworkChannel, ServerInstance
+from repro.dtc.coordinator import Branch, TransactionCoordinator
+from repro.dtc.log import (
+    BEGIN,
+    BRANCH_ACKED,
+    COMMIT_DECISION,
+    CoordinatorLog,
+    FORGOTTEN,
+    PREPARED,
+)
+from repro.errors import (
+    TransactionAborted,
+    TransactionError,
+    TransactionInDoubtError,
+)
+from repro.resilience.faults import TWO_PC_CRASH_POINTS, TwoPCFaultPlan
+from repro.resilience.health import SimulatedClock
+
+
+class FakeRM:
+    """Scriptable resource manager for state-machine tests."""
+
+    def __init__(self, vote=True, fail_abort=False):
+        self.vote = vote
+        self.fail_abort = fail_abort
+        self.prepares = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def prepare(self):
+        self.prepares += 1
+        return self.vote
+
+    def commit(self):
+        self.commits += 1
+
+    def abort(self):
+        if self.fail_abort:
+            raise RuntimeError("rollback failed")
+        self.aborts += 1
+
+
+# ======================================================================
+# coordinator log
+# ======================================================================
+
+class TestCoordinatorLog:
+    def test_flush_marks_durable_and_charges_clock(self):
+        clock = SimulatedClock()
+        log = CoordinatorLog(clock)
+        log.append(BEGIN, 1, participants=["a"])
+        assert not log.records[0].durable
+        before = clock.now_ms
+        log.flush()
+        assert clock.now_ms == before + log.fsync_ms
+        assert log.fsyncs == 1
+        assert log.records[0].durable
+
+    def test_crash_drops_volatile_tail_only(self):
+        log = CoordinatorLog(SimulatedClock())
+        log.append(BEGIN, 1, participants=["a"])
+        log.flush()
+        log.append(PREPARED, 1, branch="a")
+        log.append(COMMIT_DECISION, 1, participants=["a"])
+        assert log.crash() == 2
+        assert [r.kind for r in log.records] == [BEGIN]
+
+    def test_replay_presumes_abort_without_durable_decision(self):
+        log = CoordinatorLog(SimulatedClock())
+        log.append(BEGIN, 7, participants=["a", "b"])
+        log.append(PREPARED, 7, branch="a")
+        log.flush()
+        log.append(COMMIT_DECISION, 7, participants=["a", "b"])
+        log.crash()  # the decision record was never forced
+        replayed = log.replay()
+        assert replayed[7].decision == "abort"
+        assert replayed[7].participants == ["a", "b"]
+
+    def test_replay_commit_decision_and_acks(self):
+        log = CoordinatorLog(SimulatedClock())
+        log.append(BEGIN, 3, participants=["a", "b"])
+        log.append(COMMIT_DECISION, 3, participants=["a", "b"])
+        log.flush()
+        log.append(BRANCH_ACKED, 3, branch="a")
+        log.flush()
+        replayed = log.replay()
+        assert replayed[3].decision == "commit"
+        assert replayed[3].acked == {"a"}
+        assert not replayed[3].forgotten
+
+    def test_forgotten_transactions_are_closed(self):
+        log = CoordinatorLog(SimulatedClock())
+        log.append(COMMIT_DECISION, 5, participants=["a"])
+        log.append(FORGOTTEN, 5)
+        log.flush()
+        assert log.replay()[5].forgotten
+
+    def test_unknown_kind_rejected(self):
+        log = CoordinatorLog(SimulatedClock())
+        with pytest.raises(ValueError):
+            log.append("checkpoint", 1)
+
+
+# ======================================================================
+# fault plan
+# ======================================================================
+
+class TestTwoPCFaultPlan:
+    def test_armed_step_fires_exactly_once(self):
+        plan = TwoPCFaultPlan()
+        plan.arm("coordinator_mid_commit")
+        assert plan.should_fire("coordinator_mid_commit")
+        assert not plan.should_fire("coordinator_mid_commit")
+        assert plan.fired == ["coordinator_mid_commit"]
+
+    def test_unarmed_steps_never_fire(self):
+        plan = TwoPCFaultPlan()
+        assert not plan.should_fire("coordinator_before_prepare")
+        assert plan.fired == []
+
+    def test_arm_random_is_seed_deterministic(self):
+        a = TwoPCFaultPlan(seed=9)
+        b = TwoPCFaultPlan(seed=9)
+        names = ("r1", "r2")
+        assert [a.arm_random(names) for _ in range(5)] == [
+            b.arm_random(names) for _ in range(5)
+        ]
+
+    def test_arm_random_covers_delivery_faults(self):
+        plan = TwoPCFaultPlan(seed=0)
+        drawn = {plan.arm_random(("r1",)) for _ in range(200)}
+        assert "commit_ack_lost:r1" in drawn
+        assert "participant_down_on_commit:r1" in drawn
+        assert drawn.issuperset(TWO_PC_CRASH_POINTS)
+
+
+# ======================================================================
+# coordinator state machine
+# ======================================================================
+
+class TestCoordinatorStateMachine:
+    def test_commit_twice_rejected(self):
+        dtc = TransactionCoordinator()
+        txn = dtc.begin()
+        txn.enlist("a", FakeRM())
+        dtc.commit(txn)
+        with pytest.raises(TransactionError, match="already"):
+            dtc.commit(txn)
+        assert dtc.committed_count == 1
+
+    def test_abort_after_commit_rejected(self):
+        dtc = TransactionCoordinator()
+        txn = dtc.begin()
+        txn.enlist("a", FakeRM())
+        dtc.commit(txn)
+        with pytest.raises(TransactionError):
+            txn.abort()
+
+    def test_abort_of_in_doubt_transaction_rejected(self):
+        dtc = TransactionCoordinator()
+        plan = TwoPCFaultPlan()
+        plan.arm("coordinator_after_decision_flush")
+        dtc.crash_plan = plan
+        txn = dtc.begin()
+        txn.enlist("a", FakeRM())
+        with pytest.raises(TransactionInDoubtError):
+            dtc.commit(txn)
+        with pytest.raises(TransactionInDoubtError):
+            txn.abort()
+
+    def test_no_vote_aborts_branches_enlisted_after_the_refuser(self):
+        """The abort sweep must reach EVERY branch — including ones
+        enlisted after the refusing branch."""
+        dtc = TransactionCoordinator()
+        first, refuser, last = FakeRM(), FakeRM(vote=False), FakeRM()
+        txn = dtc.begin()
+        txn.enlist("first", first)
+        txn.enlist("refuser", refuser)
+        txn.enlist("last", last)
+        with pytest.raises(TransactionAborted, match="refuser"):
+            dtc.commit(txn)
+        assert first.aborts == 1
+        assert last.aborts == 1
+        assert dtc.aborted_count == 1
+
+    def test_abort_sweep_aggregates_branch_failures(self):
+        """One branch failing to roll back must not strand the rest."""
+        dtc = TransactionCoordinator()
+        bad, good, also_good = FakeRM(fail_abort=True), FakeRM(), FakeRM()
+        txn = dtc.begin()
+        txn.enlist("bad", bad)
+        txn.enlist("good", good)
+        txn.enlist("also_good", also_good)
+        with pytest.raises(TransactionError, match="bad"):
+            txn.abort()
+        assert good.aborts == 1
+        assert also_good.aborts == 1
+        assert txn.state == txn.ABORTED
+
+    def test_exactly_once_counters_on_commit_then_failed_abort(self):
+        dtc = TransactionCoordinator()
+        txn = dtc.begin()
+        txn.enlist("a", FakeRM())
+        dtc.commit(txn)
+        txn2 = dtc.begin()
+        txn2.enlist("b", FakeRM())
+        dtc.abort(txn2)
+        dtc.abort(txn2)  # idempotent: second abort is a no-op
+        assert dtc.committed_count == 1
+        assert dtc.aborted_count == 1
+
+    def test_redelivered_commit_is_idempotent(self):
+        rm = FakeRM()
+        dtc = TransactionCoordinator()
+        plan = TwoPCFaultPlan()
+        plan.arm("commit_ack_lost:a")
+        dtc.crash_plan = plan
+        txn = dtc.begin()
+        txn.enlist("a", rm)
+        dtc.commit(txn)  # ack lost -> retried -> duplicate delivery
+        assert rm.commits == 2
+        assert dtc.committed_count == 1
+        assert plan.fired == ["commit_ack_lost:a"]
+
+    def test_enlist_after_prepare_rejected(self):
+        dtc = TransactionCoordinator()
+        txn = dtc.begin()
+        txn.enlist("a", FakeRM())
+        dtc.commit(txn)
+        with pytest.raises(TransactionError):
+            txn.enlist("b", FakeRM())
+
+
+# ======================================================================
+# the crash matrix, end to end through the engine
+# ======================================================================
+
+#: crash points with a durable commit decision: recovery must COMMIT
+_DECIDED = {
+    "coordinator_after_decision_flush",
+    "coordinator_mid_commit",
+    "coordinator_before_forget",
+}
+
+
+@pytest.fixture
+def pv_world():
+    local = Engine("local")
+    servers = {}
+    for name, (low, high) in (("r1", (0, 10)), ("r2", (10, 20))):
+        server = ServerInstance(name)
+        server.execute(
+            f"CREATE TABLE p_{name} (k int NOT NULL CHECK "
+            f"(k >= {low} AND k < {high}), v int)"
+        )
+        local.add_linked_server(
+            name, server, NetworkChannel(f"ch-{name}", latency_ms=1)
+        )
+        servers[name] = server
+    local.execute(
+        "CREATE TABLE p_loc (k int NOT NULL CHECK "
+        "(k >= 20 AND k < 30), v int)"
+    )
+    local.execute(
+        "CREATE VIEW pv AS SELECT * FROM r1.master.dbo.p_r1 "
+        "UNION ALL SELECT * FROM r2.master.dbo.p_r2 "
+        "UNION ALL SELECT * FROM p_loc"
+    )
+    local.execute("INSERT INTO pv VALUES (1, 0), (11, 0), (21, 0)")
+    return local, servers
+
+
+def _counts(local, servers):
+    return (
+        servers["r1"].execute("SELECT COUNT(*) FROM p_r1").scalar(),
+        servers["r2"].execute("SELECT COUNT(*) FROM p_r2").scalar(),
+        local.execute("SELECT COUNT(*) FROM p_loc").scalar(),
+    )
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("step", TWO_PC_CRASH_POINTS)
+    def test_every_crash_point_is_all_or_nothing(self, pv_world, step):
+        local, servers = pv_world
+        plan = TwoPCFaultPlan()
+        plan.arm(step)
+        local.dtc.crash_plan = plan
+        with pytest.raises(TransactionInDoubtError) as excinfo:
+            local.execute("INSERT INTO pv VALUES (2, 0), (12, 0), (22, 0)")
+        assert excinfo.value.crash_point == step
+        assert plan.fired == [step]
+        assert local.dtc.has_in_doubt()
+        report = local.dtc.recover()
+        local.dtc.crash_plan = None
+        if step in _DECIDED:
+            assert report.committed and not report.aborted
+            assert _counts(local, servers) == (2, 2, 2)
+        else:
+            assert report.aborted and not report.committed
+            assert _counts(local, servers) == (1, 1, 1)
+        assert not local.dtc.has_in_doubt()
+        rerun = local.dtc.recover()  # recovery is idempotent
+        assert rerun.resolved == 0 and not rerun.unresolved
+
+    def test_participant_down_on_commit_recovers_to_commit(
+        self, pv_world
+    ):
+        local, servers = pv_world
+        plan = TwoPCFaultPlan()
+        plan.arm("participant_down_on_commit:r2")
+        local.dtc.crash_plan = plan
+        with pytest.raises(TransactionInDoubtError) as excinfo:
+            local.execute("INSERT INTO pv VALUES (3, 0), (13, 0)")
+        assert excinfo.value.crash_point == "participant_down_on_commit:r2"
+        report = local.dtc.recover()
+        local.dtc.crash_plan = None
+        # the decision was durable before delivery started, so the
+        # branch that missed it must be re-driven to COMMIT
+        assert report.committed
+        assert _counts(local, servers) == (2, 2, 1)
+
+    def test_lost_ack_retries_inline_without_in_doubt(self, pv_world):
+        local, servers = pv_world
+        plan = TwoPCFaultPlan()
+        plan.arm("commit_ack_lost:r1")
+        local.dtc.crash_plan = plan
+        local.execute("INSERT INTO pv VALUES (4, 0), (14, 0)")
+        local.dtc.crash_plan = None
+        assert not local.dtc.has_in_doubt()
+        assert _counts(local, servers) == (2, 2, 1)
+        assert local.metrics.counter("dtc.redeliveries").value >= 1
+        assert local.metrics.counter("dtc.acks_lost").value >= 1
+
+    def test_counters_and_log_accounting(self, pv_world):
+        local, __ = pv_world  # the fixture insert already committed
+        assert local.metrics.counter("dtc.prepares").value == 3
+        assert local.metrics.counter("dtc.commits").value == 1
+        assert local.metrics.counter("dtc.fsyncs").value >= 1
+        assert local.dtc.log.fsyncs >= 1
+
+
+# ======================================================================
+# the in-doubt resolver
+# ======================================================================
+
+class TestInDoubtResolver:
+    def _park_mid_commit(self, local):
+        plan = TwoPCFaultPlan()
+        plan.arm("coordinator_mid_commit")
+        local.dtc.crash_plan = plan
+        with pytest.raises(TransactionInDoubtError):
+            local.execute("INSERT INTO pv VALUES (5, 0), (15, 0), (25, 0)")
+        local.dtc.crash_plan = None
+
+    def test_reads_fail_fast_while_in_doubt(self, pv_world):
+        local, __ = pv_world
+        self._park_mid_commit(local)
+        with pytest.raises(TransactionInDoubtError, match="in-doubt"):
+            local.execute("SELECT k FROM pv")
+        local.dtc.recover()
+        assert len(local.execute("SELECT k FROM pv").rows) == 6
+
+    def test_unrelated_tables_stay_readable(self, pv_world):
+        local, __ = pv_world
+        local.execute("CREATE TABLE bystander (x int)")
+        local.execute("INSERT INTO bystander VALUES (1)")
+        self._park_mid_commit(local)
+        assert local.execute("SELECT x FROM bystander").scalar() == 1
+        local.dtc.recover()
+
+    def test_local_dml_fenced_while_in_doubt(self, pv_world):
+        local, __ = pv_world
+        self._park_mid_commit(local)
+        with pytest.raises(TransactionInDoubtError):
+            local.execute("INSERT INTO p_loc VALUES (26, 9)")
+        with pytest.raises(TransactionInDoubtError):
+            local.execute("INSERT INTO pv VALUES (27, 9)")
+        local.dtc.recover()
+        local.execute("INSERT INTO p_loc VALUES (26, 9)")
+
+    def test_partial_results_degrades_around_in_doubt_member(
+        self, pv_world
+    ):
+        local, __ = pv_world
+        # leave ONLY r2 undecided: r1 commits first, then the crash
+        plan = TwoPCFaultPlan()
+        plan.arm("participant_down_on_commit:r2")
+        local.dtc.crash_plan = plan
+        with pytest.raises(TransactionInDoubtError):
+            local.execute("INSERT INTO pv VALUES (6, 0), (16, 0)")
+        local.dtc.crash_plan = None
+        local.execute("SET PARTIAL_RESULTS ON")
+        result = local.execute("SELECT k FROM pv")
+        assert result.partial is not None and result.partial.is_partial
+        assert result.partial.skipped[0].reason == "in_doubt"
+        assert result.partial.skipped[0].server == "r2"
+        local.execute("SET PARTIAL_RESULTS OFF")
+        local.dtc.recover()
+
+    def test_committed_branches_do_not_fence(self, pv_world):
+        """A crash after every branch acked (before the forget record)
+        leaves no torn state: reads proceed while recovery is pending."""
+        local, __ = pv_world
+        plan = TwoPCFaultPlan()
+        plan.arm("coordinator_before_forget")
+        local.dtc.crash_plan = plan
+        with pytest.raises(TransactionInDoubtError):
+            local.execute("INSERT INTO pv VALUES (7, 0), (17, 0)")
+        local.dtc.crash_plan = None
+        assert local.dtc.has_in_doubt()
+        assert len(local.execute("SELECT k FROM pv").rows) == 5
+        report = local.dtc.recover()
+        assert report.committed
+
+    def test_dmv_surfaces_in_doubt_transactions(self, pv_world):
+        local, __ = pv_world
+        self._park_mid_commit(local)
+        result = local.execute(
+            "SELECT * FROM sys.dm_tran_active_transactions"
+        )
+        assert result.columns == [
+            "transaction_id", "state", "branch_count", "branches",
+            "in_doubt_age_ms", "logged_decision", "crash_point",
+        ]
+        rows = [r for r in result.rows if r[1] == "in-doubt"]
+        assert len(rows) == 1
+        __, state, branch_count, branches, age, decision, crash = rows[0]
+        assert branch_count == 3
+        assert set(branches.split(",")) == {"r1", "r2", "local"}
+        assert age is not None and age >= 0
+        assert decision == "commit"  # the decision record was flushed
+        assert crash == "coordinator_mid_commit"
+        report = local.dtc.recover()
+        assert report.committed
+        assert local.metrics.counter("dtc.recoveries").value == 1
+        result = local.execute(
+            "SELECT COUNT(*) FROM sys.dm_tran_active_transactions"
+        )
+        assert result.scalar() == 0

@@ -315,6 +315,7 @@ class TestSystemViews:
             "dm_exec_sessions",
             "dm_os_performance_counters",
             "dm_server_health",
+            "dm_tran_active_transactions",
             "query_store_plan",
             "query_store_query",
             "query_store_regressions",

@@ -351,3 +351,56 @@ class TestTraceIsolation:
                 assert execute_span.net_ms == pytest.approx(
                     ref_net[sql], abs=1e-6
                 ), (sql, execute_span.net_ms, ref_net[sql])
+
+
+class TestCoordinatorThreadSafety:
+    """begin()/commit()/abort() racing across sessions: unique txn ids,
+    exactly-once outcome counters, and an intact registry."""
+
+    N_THREADS = 8
+    TXNS_PER_THREAD = 40
+
+    def test_concurrent_begin_commit_abort_exactly_once(self):
+        from repro.dtc.coordinator import TransactionCoordinator
+
+        class NoopRM:
+            def prepare(self):
+                return True
+
+            def commit(self):
+                pass
+
+            def abort(self):
+                pass
+
+        dtc = TransactionCoordinator()
+        barrier = threading.Barrier(self.N_THREADS)
+        ids: dict = {}
+
+        def worker_for(index: int):
+            def worker():
+                rng = random.Random(index)
+                minted = []
+                barrier.wait()
+                for __ in range(self.TXNS_PER_THREAD):
+                    txn = dtc.begin()
+                    minted.append(txn.txn_id)
+                    txn.enlist(f"rm-{index}", NoopRM())
+                    if rng.random() < 0.5:
+                        dtc.commit(txn)
+                    else:
+                        dtc.abort(txn)
+                        dtc.abort(txn)  # double abort must not recount
+                ids[index] = minted
+
+            return worker
+
+        _run_threads([worker_for(i) for i in range(self.N_THREADS)])
+
+        total = self.N_THREADS * self.TXNS_PER_THREAD
+        all_ids = [txn_id for minted in ids.values() for txn_id in minted]
+        assert len(all_ids) == total
+        assert len(set(all_ids)) == total, "duplicate transaction ids"
+        assert dtc.committed_count + dtc.aborted_count == total
+        assert not list(dtc.active_transactions)
+        assert not dtc.has_in_doubt()

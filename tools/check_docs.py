@@ -10,6 +10,8 @@ Fails (exit 1) when:
 * ``README.md`` lacks a "Testing" section, or its link to
   ``docs/TESTING.md`` is missing, or ``docs/TESTING.md`` does not
   document the oracle matrix and the seed-repro workflow, or
+* ``docs/FAULT_MODEL.md`` does not document the 2PC protocol (state
+  machine, coordinator log, crash-point matrix, in-doubt recovery), or
 * ``README.md`` lacks an "Observability" section, or its link to
   ``docs/OBSERVABILITY.md`` is missing, or ``docs/OBSERVABILITY.md``
   does not document the span model, the Query Store views, plan
@@ -86,15 +88,41 @@ def check_testing_doc() -> list[str]:
     problems = []
     # the oracle matrix: every configuration must be documented
     for config in ("`local`", "`distributed`", "`ablated`", "`faulted`",
-                   "`traced`", "`parallel`", "`cached`"):
+                   "`traced`", "`parallel`", "`cached`", "`atomic`"):
         if config not in text:
             problems.append(
                 f"docs/TESTING.md: oracle matrix missing {config}"
             )
     # the seed-repro workflow and the regenerator must be shown
-    for needle in ("--repro", "tools/update_golden.py", "tests/golden"):
+    for needle in ("--repro", "tools/update_golden.py", "tests/golden",
+                   "--atomic"):
         if needle not in text:
             problems.append(f"docs/TESTING.md: missing '{needle}'")
+    return problems
+
+
+def check_fault_model_doc() -> list[str]:
+    path = ROOT / "docs" / "FAULT_MODEL.md"
+    if not path.exists():
+        return ["docs/FAULT_MODEL.md: missing"]
+    text = path.read_text(encoding="utf-8")
+    problems = []
+    # the 2PC contract: protocol + log, the crash-point matrix, the
+    # in-doubt / partial-results interaction, and the recovery surface
+    for needle in (
+        "presumed-abort",
+        "Crash-point matrix",
+        "coordinator_after_decision_flush",
+        "TwoPCFaultPlan",
+        "in-doubt",
+        "TransactionInDoubtError",
+        "recover()",
+        "COMMIT_DECISION",
+        "sys.dm_tran_active_transactions",
+        "dtc.fsyncs",
+    ):
+        if needle not in text:
+            problems.append(f"docs/FAULT_MODEL.md: missing '{needle}'")
     return problems
 
 
@@ -150,6 +178,9 @@ def check_architecture_doc() -> list[str]:
         "`repro.execution.plancache`",
         "create_session",
         "shared plan cache",
+        "Life of a distributed write",
+        "`repro.federation.dml`",
+        "TransactionCoordinator",
     ):
         if needle not in text:
             problems.append(f"docs/ARCHITECTURE.md: missing '{needle}'")
@@ -162,6 +193,7 @@ def main() -> int:
         problems += check_links(path)
     problems += check_readme()
     problems += check_testing_doc()
+    problems += check_fault_model_doc()
     problems += check_observability_doc()
     problems += check_architecture_doc()
     for problem in problems:

@@ -16,6 +16,14 @@ Usage::
     python tools/diffcheck.py --seed 7 --n 500          # nightly fuzz
     python tools/diffcheck.py --repro 42:3              # replay one case
     python tools/diffcheck.py --seed 42 --n 50 --out d/ # write failure reports
+    python tools/diffcheck.py --atomic 8                # 2PC crash fuzz
+
+``--atomic N`` runs the eighth oracle: N seeds of crash-injected DML
+through the distributed partitioned view (a random 2PC protocol-step
+crash per statement, then in-doubt recovery), requiring every member to
+stay all-or-nothing against the single-engine reference.  Atomic case
+ids are namespaced ``a<seed>:<index>``; ``--repro a<seed>:<i>`` replays
+that seed's battery.
 
 Every mismatch report carries the case id (``schema_seed:query_index``),
 the SQL text, and the EXPLAIN of every configuration's plan; rerun the
@@ -36,6 +44,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import tracereport  # noqa: E402
 
+from repro.testcheck.atomic import (  # noqa: E402
+    run_atomic_battery,
+    run_atomic_seeds,
+)
 from repro.testcheck.oracle import (  # noqa: E402
     DiffReport,
     DifferentialRunner,
@@ -83,19 +95,40 @@ def main() -> int:
                              "from a failure report")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="write one report file per mismatch into DIR")
+    parser.add_argument("--atomic", type=int, metavar="N", default=0,
+                        help="run the 2PC crash-recovery atomicity oracle "
+                             "over N seeds (instead of the query oracles)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-schema progress output")
     args = parser.parse_args()
 
     started = time.perf_counter()
     report = DiffReport()
-    if args.repro is not None:
+    if args.repro is not None and args.repro.startswith("a"):
+        # atomic case: replay the whole battery for that seed (crash
+        # effects accumulate statement to statement, so the battery is
+        # the unit of reproduction)
+        schema_seed, __ = parse_case_id(args.repro[1:])
+        found = run_atomic_battery(schema_seed)
+        report.cases_run = 1
+        report.mismatches.extend(found)
+    elif args.repro is not None:
         schema_seed, query_index = parse_case_id(args.repro)
         runner = DifferentialRunner(seed=schema_seed)
         mismatch = runner.run_case(schema_seed, query_index)
         report.cases_run = 1
         if mismatch is not None:
             report.mismatches.append(mismatch)
+    elif args.atomic > 0:
+        seeds = range(args.seed, args.seed + args.atomic)
+        report = run_atomic_seeds(seeds)
+        if not args.quiet:
+            print(
+                f"diffcheck: atomic oracle over seeds "
+                f"{seeds.start}..{seeds.stop - 1} — "
+                f"{report.cases_run} crash-injected statements",
+                file=sys.stderr,
+            )
     else:
         runner = DifferentialRunner(seed=args.seed)
 
