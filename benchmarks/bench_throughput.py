@@ -34,6 +34,7 @@ from repro.network.channel import (
     attach_worker_charges,
     detach_worker_charges,
 )
+from repro.observability.metrics import Histogram
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 SESSION_SWEEP = (1, 2, 4, 8)
@@ -124,6 +125,9 @@ def _run_point(n_sessions: int) -> dict:
     busy = [0.0] * n_sessions
     errors: list = []
     barrier = threading.Barrier(n_sessions)
+    #: per-statement simulated latency distribution (p50/p95/p99)
+    latency = Histogram("statement_sim_ms")
+    latency_lock = threading.Lock()
 
     def make_worker(index: int):
         def worker():
@@ -133,7 +137,10 @@ def _run_point(n_sessions: int) -> dict:
             barrier.wait()
             try:
                 for n in range(STATEMENTS_PER_SESSION):
+                    before_ms = accumulator[0]
                     session.execute(POOL[(index + n) % len(POOL)])
+                    with latency_lock:
+                        latency.observe(accumulator[0] - before_ms)
             except Exception as error:  # noqa: BLE001
                 errors.append(repr(error))
             finally:
@@ -167,6 +174,9 @@ def _run_point(n_sessions: int) -> dict:
         "compile_penalty_ms": round(compile_penalty_ms, 3),
         "makespan_ms": round(makespan_ms, 3),
         "throughput_stmt_per_s": round(total / makespan_ms * 1000.0, 1),
+        "latency_p50_ms": round(latency.percentile(50.0), 3),
+        "latency_p95_ms": round(latency.percentile(95.0), 3),
+        "latency_p99_ms": round(latency.percentile(99.0), 3),
     }
 
 
@@ -230,7 +240,8 @@ def test_session_throughput_sweep(benchmark):
         f"E18: multi-session throughput "
         f"({STATEMENTS_PER_SESSION} stmts/session, "
         f"{len(POOL)}-shape pool, {LATENCY_MS}ms links)",
-        ["sessions", "stmt/s", "scaling", "hit rate", "makespan (sim)"],
+        ["sessions", "stmt/s", "scaling", "hit rate", "makespan (sim)",
+         "p50", "p95", "p99"],
         [
             (
                 str(n),
@@ -238,6 +249,9 @@ def test_session_throughput_sweep(benchmark):
                 f"x{cells[n]['throughput_stmt_per_s'] / base:.2f}",
                 f"{cells[n]['hit_rate'] * 100.0:.1f}%",
                 f"{cells[n]['makespan_ms']:.1f}ms",
+                f"{cells[n]['latency_p50_ms']:.2f}ms",
+                f"{cells[n]['latency_p95_ms']:.2f}ms",
+                f"{cells[n]['latency_p99_ms']:.2f}ms",
             )
             for n in SESSION_SWEEP
         ],

@@ -47,6 +47,9 @@ class CostModel:
         health_open_penalty_ms: float = 500.0,
         health_half_open_penalty_ms: float = 25.0,
         exchange_branch_overhead_ms: float = 0.05,
+        bytes_per_column: float = 16.0,
+        hash_memory_overhead: float = 1.3,
+        sort_memory_overhead: float = 1.1,
     ):
         self.cpu_row_ms = cpu_row_ms
         self.hash_build_row_ms = hash_build_row_ms
@@ -67,6 +70,38 @@ class CostModel:
         #: (thread + queue plumbing); keeps DOP>1 from beating a serial
         #: Concat on all-local unions where there is nothing to hide
         self.exchange_branch_overhead_ms = exchange_branch_overhead_ms
+        #: estimated stored width of one column value, for memory grants
+        self.bytes_per_column = bytes_per_column
+        #: hash tables cost more than their payload (buckets, headers)
+        self.hash_memory_overhead = hash_memory_overhead
+        #: sort run bookkeeping on top of the rows themselves
+        self.sort_memory_overhead = sort_memory_overhead
+
+    # -- workspace-memory estimates (KB), for the resource governor -----------
+    def row_width_bytes(self, column_count: int) -> float:
+        return max(1, column_count) * self.bytes_per_column
+
+    def hash_join_memory_kb(self, build_rows: float, row_width_bytes: float) -> float:
+        """Workspace for a hash join's build side (the probe streams)."""
+        return (
+            max(0.0, build_rows) * row_width_bytes * self.hash_memory_overhead
+        ) / 1024.0
+
+    def hash_aggregate_memory_kb(self, groups: float, row_width_bytes: float) -> float:
+        """Workspace for a hash aggregate: one slot per output group."""
+        return (
+            max(0.0, groups) * row_width_bytes * self.hash_memory_overhead
+        ) / 1024.0
+
+    def sort_memory_kb(self, rows: float, row_width_bytes: float) -> float:
+        """Workspace for an in-memory sort of the full input."""
+        return (
+            max(0.0, rows) * row_width_bytes * self.sort_memory_overhead
+        ) / 1024.0
+
+    def spool_memory_kb(self, rows: float, row_width_bytes: float) -> float:
+        """Workspace for a spool's materialized snapshot."""
+        return (max(0.0, rows) * row_width_bytes) / 1024.0
 
     # -- local operators ------------------------------------------------------
     def scan(self, rows: float) -> float:

@@ -34,6 +34,9 @@ class PhysicalOp:
         #: filled by the optimizer
         self.cost: float = 0.0
         self.est_rows: float = 0.0
+        #: filled by the resource governor before execution (KB of
+        #: workspace memory this operator is estimated to materialize)
+        self.est_memory_kb: float = 0.0
 
     def output_ids(self) -> tuple[ColumnId, ...]:
         raise NotImplementedError

@@ -25,6 +25,7 @@ import itertools
 import json
 import threading
 import time
+import weakref
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, Optional, Sequence
 
@@ -40,6 +41,7 @@ from repro.errors import (
     ExecutionError,
     ServerUnavailableError,
     SqlError,
+    UnknownSetOptionError,
 )
 from repro.execution.context import ExecutionContext
 from repro.execution.executor import execute_plan
@@ -49,6 +51,7 @@ from repro.execution.plancache import (
     plan_references,
 )
 from repro.fulltext.service import FullTextService
+from repro.governor import ResourceGovernor
 from repro.network.channel import (
     NetworkChannel,
     attach_statement_scope,
@@ -137,6 +140,16 @@ class QueryResult:
         self.plan_cache_key: Optional[tuple] = None
         #: id of the session the statement ran under
         self.session_id: Optional[int] = None
+        #: workload group the statement was classified into (resource
+        #: governor); None for statements that bypassed classification
+        self.workload_group: Optional[str] = None
+        #: memory the governor leased for this statement's plan (KB);
+        #: 0.0 for streaming plans that needed no grant
+        self.memory_grant_kb: float = 0.0
+        #: simulated ms spent waiting for the memory grant
+        self.grant_wait_ms: float = 0.0
+        #: simulated ms spent waiting in the admission queue
+        self.admission_wait_ms: float = 0.0
 
     @property
     def is_partial(self) -> bool:
@@ -168,6 +181,13 @@ class QueryResult:
         if self.dop > 1 or self.parallel_saved_ms:
             payload["dop"] = self.dop
             payload["parallel_saved_ms"] = round(self.parallel_saved_ms, 3)
+        if self.workload_group is not None:
+            payload["workload_group"] = self.workload_group
+        if self.memory_grant_kb:
+            payload["memory_grant_kb"] = round(self.memory_grant_kb, 1)
+            payload["grant_wait_ms"] = round(self.grant_wait_ms, 3)
+        if self.admission_wait_ms:
+            payload["admission_wait_ms"] = round(self.admission_wait_ms, 3)
         if self.profile is not None and self.plan is not None:
             payload["profile"] = self.profile.as_rows(self.plan)
         if self.trace is not None:
@@ -271,6 +291,69 @@ class ServerInstance:
         self._write_lock = threading.RLock()
         #: guards the query_stats dict (shared DMV surface)
         self._stats_lock = threading.RLock()
+        #: the Resource Governor: workload groups, memory grants and
+        #: admission control.  Fresh engines run everything under the
+        #: built-in ``default`` group on an unbounded pool, so the
+        #: governor is a pass-through until pools/groups are created.
+        self.governor = ResourceGovernor(
+            self.health.clock, metrics=self.metrics
+        )
+        #: live exchange schedulers (for close(); workers register via
+        #: ExecutionContext.scheduler_registry and are weakly held)
+        self._schedulers: "weakref.WeakSet" = weakref.WeakSet()
+        #: lifecycle: close() refuses new statements and drains these
+        self._closed = False
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Shut the engine down: refuse new statements, wait for
+        in-flight ones to drain (up to ``timeout_s``), stop any
+        exchange worker threads still alive, and drop the plan cache.
+        Idempotent; execute() after close raises ExecutionError."""
+        with self._inflight_cond:
+            if self._closed:
+                return
+            self._closed = True
+            deadline = time.monotonic() + timeout_s
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cond.wait(timeout=remaining)
+        for scheduler in list(self._schedulers):
+            try:
+                scheduler.shutdown()
+            except Exception:
+                pass
+        self.plan_cache.clear()
+        self.metrics.set_gauge("engine.closed", 1.0)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ServerInstance":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _enter_statement(self) -> None:
+        with self._inflight_cond:
+            if self._closed:
+                raise ExecutionError(
+                    f"engine {self.name!r} is closed"
+                )
+            self._inflight += 1
+
+    def _exit_statement(self) -> None:
+        with self._inflight_cond:
+            self._inflight = max(0, self._inflight - 1)
+            self._inflight_cond.notify_all()
 
     # ==================================================================
     # sessions
@@ -576,23 +659,40 @@ class ServerInstance:
             if self.query_timeout_ms is not None
             else None
         )
-        started = time.perf_counter()
-        before = self._network_snapshot()
-        # advance the health clock: open breakers measure their
-        # re-probe interval in statements, not wall time
-        self.health.tick()
-        restore = self._attach_statement_scope(trace, budget)
+        # -- resource governance: classify, then admit ------------------
+        # Admission happens before any work (parse included): an
+        # overloaded pool sheds with AdmissionTimeoutError having spent
+        # nothing but queue time.
+        self._enter_statement()
+        group = self.governor.classify(session)
         try:
-            if trace is not None:
-                with trace.span("parse"):
+            ticket = self.governor.admit(group, trace=trace)
+        except BaseException:
+            self._exit_statement()
+            raise
+        try:
+            started = time.perf_counter()
+            before = self._network_snapshot()
+            # advance the health clock: open breakers measure their
+            # re-probe interval in statements, not wall time
+            self.health.tick()
+            restore = self._attach_statement_scope(trace, budget)
+            try:
+                if trace is not None:
+                    with trace.span("parse"):
+                        stmt = parse_sql(sql_text)
+                else:
                     stmt = parse_sql(sql_text)
-            else:
-                stmt = parse_sql(sql_text)
-            result = self._dispatch_statement(
-                stmt, params, txn, trace, sql_text, session
-            )
+                result = self._dispatch_statement(
+                    stmt, params, txn, trace, sql_text, session, group=group
+                )
+            finally:
+                self._restore_statement_scope(restore)
         finally:
-            self._restore_statement_scope(restore)
+            self.governor.complete(group, ticket)
+            self._exit_statement()
+        result.workload_group = group.name
+        result.admission_wait_ms = ticket.wait_ms
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         network = self._network_delta(before)
         result.network = network
@@ -686,11 +786,13 @@ class ServerInstance:
         trace: Optional[QueryTrace],
         sql_text: Optional[str] = None,
         session: Optional[Session] = None,
+        group: Optional[Any] = None,
     ) -> QueryResult:
         session = session or self._default_session
         if isinstance(stmt, ast.SelectStmt):
             return self._execute_select(
-                stmt, params, trace=trace, sql_text=sql_text, session=session
+                stmt, params, trace=trace, sql_text=sql_text,
+                session=session, group=group,
             )
         if isinstance(stmt, ast.ExplainStmt):
             return self._execute_explain(
@@ -804,7 +906,24 @@ class ServerInstance:
                 self.optimizer.parallel_dop = dop
                 self.metrics.set_gauge("engine.parallel_dop", float(dop))
             return QueryResult([], [], rowcount=0)
-        raise SqlError(f"unknown SET option {stmt.option.upper()!r}")
+        if stmt.option == "workload_group":
+            if not isinstance(stmt.value, str):
+                raise SqlError(
+                    "SET WORKLOAD GROUP expects a quoted group name"
+                )
+            name = stmt.value.lower()
+            if name not in self.governor.groups:
+                raise SqlError(
+                    f"unknown workload group {stmt.value!r}; defined "
+                    f"groups are: "
+                    f"{', '.join(sorted(self.governor.groups))}"
+                )
+            session.workload_group = name
+            return QueryResult([], [], rowcount=0)
+        raise UnknownSetOptionError(
+            stmt.option,
+            supported=("PARALLEL_DOP", "PARTIAL_RESULTS", "WORKLOAD GROUP"),
+        )
 
     def _execute_explain(
         self,
@@ -1100,8 +1219,13 @@ class ServerInstance:
         trace: Optional[QueryTrace] = None,
         sql_text: Optional[str] = None,
         session: Optional[Session] = None,
+        group: Optional[Any] = None,
     ) -> QueryResult:
         session = session or self._default_session
+        if group is None:
+            # nested SELECTs (INSERT..SELECT) arrive without the
+            # statement's group; classification is cheap and stable
+            group = self.governor.classify(session)
         # -- plan-cache lookup ------------------------------------------
         # Uncacheable: statements without text (nested INSERT..SELECT),
         # partial-results mode (plans depend on this instant's breaker
@@ -1173,6 +1297,7 @@ class ServerInstance:
             self.dtc.check_accessible(servers=servers, tables=tables)
         profiler = PlanProfiler() if self.profiling_enabled else None
         replans = 0
+        max_dop = group.max_dop or None
         ctx = ExecutionContext(
             params,
             subquery_executor=self._run_subquery,
@@ -1180,53 +1305,82 @@ class ServerInstance:
             metrics=self.metrics,
             trace=trace,
             requested_dop=session.parallel_dop,
+            max_dop=max_dop,
+            scheduler_registry=self._schedulers,
         )
+        # -- memory grant -----------------------------------------------
+        # Leased before execution, released unconditionally after; a
+        # replan releases the old plan's grant and leases the new one.
+        grant = self.governor.acquire_grant(
+            optimization.plan, group, session,
+            self.optimizer.cost_model, trace=trace, sql_text=sql_text,
+        )
+        grant_kb = grant.granted_kb if grant is not None else 0.0
+        grant_wait_ms = grant.wait_ms if grant is not None else 0.0
         try:
-            if trace is not None:
-                with trace.span("execute", session=session.session_id):
+            try:
+                if trace is not None:
+                    with trace.span("execute", session=session.session_id):
+                        rows = execute_plan(optimization.plan, ctx)
+                else:
                     rows = execute_plan(optimization.plan, ctx)
-            else:
-                rows = execute_plan(optimization.plan, ctx)
-        except ServerUnavailableError as error:
-            if not self.replan_on_failure:
-                raise
-            # one bounded replan: the dead member's breaker tripped
-            # inside run_with_retry, so re-optimization now routes
-            # around it (and partial mode prunes its PV branches);
-            # already-spooled remote results carry over via the shared
-            # spool cache.  A second failure propagates fail-stop.
-            # A cached plan that hit this path is stale by definition
-            # (it references a member whose breaker just opened), so it
-            # is evicted rather than fast-failing the next caller.
-            replans = 1
-            self.metrics.increment("engine.replans")
-            if entry_key is not None:
-                self.plan_cache.invalidate_key(entry_key, reason="breaker")
-            if trace is not None:
-                trace.event(
-                    "replan",
-                    server=getattr(error, "server_name", None),
-                    error=f"{type(error).__name__}: {error}",
+            except ServerUnavailableError as error:
+                if not self.replan_on_failure:
+                    raise
+                # one bounded replan: the dead member's breaker tripped
+                # inside run_with_retry, so re-optimization now routes
+                # around it (and partial mode prunes its PV branches);
+                # already-spooled remote results carry over via the shared
+                # spool cache.  A second failure propagates fail-stop.
+                # A cached plan that hit this path is stale by definition
+                # (it references a member whose breaker just opened), so it
+                # is evicted rather than fast-failing the next caller.
+                replans = 1
+                self.metrics.increment("engine.replans")
+                if entry_key is not None:
+                    self.plan_cache.invalidate_key(entry_key, reason="breaker")
+                if trace is not None:
+                    trace.event(
+                        "replan",
+                        server=getattr(error, "server_name", None),
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                bound, optimization, skipped = self._plan_select(
+                    stmt, trace, allow_probes=False, session=session
                 )
-            bound, optimization, skipped = self._plan_select(
-                stmt, trace, allow_probes=False, session=session
-            )
-            output_names = bound.output_names
-            output_cids = [d.cid for d in bound.output_defs]
-            ctx = ExecutionContext(
-                params,
-                subquery_executor=self._run_subquery,
-                profiler=profiler,
-                metrics=self.metrics,
-                trace=trace,
-                spool_cache=ctx.spool_cache,
-                requested_dop=session.parallel_dop,
-            )
-            if trace is not None:
-                with trace.span("execute", session=session.session_id):
+                output_names = bound.output_names
+                output_cids = [d.cid for d in bound.output_defs]
+                ctx = ExecutionContext(
+                    params,
+                    subquery_executor=self._run_subquery,
+                    profiler=profiler,
+                    metrics=self.metrics,
+                    trace=trace,
+                    spool_cache=ctx.spool_cache,
+                    requested_dop=session.parallel_dop,
+                    max_dop=max_dop,
+                    scheduler_registry=self._schedulers,
+                )
+                # the replacement plan needs its own grant; release the
+                # old lease first so the swap cannot deadlock the pool
+                if grant is not None:
+                    grant.release()
+                grant = self.governor.acquire_grant(
+                    optimization.plan, group, session,
+                    self.optimizer.cost_model, trace=trace,
+                    sql_text=sql_text,
+                )
+                grant_kb = grant.granted_kb if grant is not None else 0.0
+                if grant is not None:
+                    grant_wait_ms += grant.wait_ms
+                if trace is not None:
+                    with trace.span("execute", session=session.session_id):
+                        rows = execute_plan(optimization.plan, ctx)
+                else:
                     rows = execute_plan(optimization.plan, ctx)
-            else:
-                rows = execute_plan(optimization.plan, ctx)
+        finally:
+            if grant is not None:
+                grant.release()
         # align plan output order with the bound output defs
         rows = _reorder_output(rows, optimization.plan, output_cids)
         result = QueryResult(
@@ -1238,6 +1392,9 @@ class ServerInstance:
         result.dop = max(1, ctx.max_dop_used)
         result.plan_cache_status = cache_status
         result.plan_cache_key = entry_key
+        result.workload_group = group.name
+        result.memory_grant_kb = grant_kb
+        result.grant_wait_ms = grant_wait_ms
         if skipped:
             result.partial = PartialResultsInfo(skipped)
         return result
@@ -1246,7 +1403,9 @@ class ServerInstance:
         with self._compile_lock:
             optimization = self.optimizer.optimize(root)
         ctx = ExecutionContext(
-            subquery_executor=self._run_subquery, metrics=self.metrics
+            subquery_executor=self._run_subquery,
+            metrics=self.metrics,
+            scheduler_registry=self._schedulers,
         )
         rows = execute_plan(optimization.plan, ctx)
         ids = list(optimization.plan.output_ids())

@@ -144,5 +144,68 @@ class TransactionInDoubtError(TransactionError):
         self.crash_point = crash_point
 
 
+class UnknownSetOptionError(SqlError):
+    """``SET <option>`` named an option the engine does not recognize.
+
+    Carries the offending option and the supported set so callers (and
+    error messages) can point at exactly what is available instead of
+    a bare "unknown option" string.
+    """
+
+    def __init__(self, option: str, supported: "tuple[str, ...]"):
+        self.option = option
+        self.supported = tuple(supported)
+        super().__init__(
+            f"unknown SET option {option.upper()!r}; supported options "
+            f"are: {', '.join(self.supported)}"
+        )
+
+
+class GovernorError(ReproError):
+    """Base class for Resource Governor failures (admission control,
+    workload classification, memory grants)."""
+
+
+class AdmissionTimeoutError(GovernorError):
+    """Admission control shed this statement: the pool's concurrency
+    gate stayed full past the workload group's deadline, or the bounded
+    wait queue had no room.  Overload degrades by fast typed rejection,
+    never by unbounded queueing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group: "str | None" = None,
+        pool: "str | None" = None,
+        wait_ms: float = 0.0,
+    ):
+        super().__init__(message)
+        self.group = group
+        self.pool = pool
+        self.wait_ms = wait_ms
+
+
+class GrantTimeoutError(GovernorError):
+    """A memory grant could not be satisfied before the workload
+    group's ``request_timeout_ms`` deadline on the simulated clock.
+    The statement never started executing, so no partial effects exist.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group: "str | None" = None,
+        pool: "str | None" = None,
+        required_kb: float = 0.0,
+        wait_ms: float = 0.0,
+    ):
+        super().__init__(message)
+        self.group = group
+        self.pool = pool
+        self.required_kb = required_kb
+        self.wait_ms = wait_ms
+
+
 class FullTextError(ReproError):
     """Raised for full-text catalog or query-language errors."""

@@ -34,6 +34,8 @@ class ExecutionContext:
         trace: Optional["QueryTrace"] = None,
         spool_cache: Optional[Dict[Any, list]] = None,
         requested_dop: Optional[int] = None,
+        max_dop: Optional[int] = None,
+        scheduler_registry: Optional[Any] = None,
     ):
         #: @parameter values for this execution
         self.params = dict(params or {})
@@ -72,6 +74,12 @@ class ExecutionContext:
         #: the plan, so a cached parallel plan is DOP-invariant (None =
         #: use the plan's compiled dop)
         self.requested_dop = requested_dop
+        #: workload-group DOP ceiling (resource governor); clamps both
+        #: requested and compiled degrees.  None = ungoverned.
+        self.max_dop = max_dop
+        #: engine-owned WeakSet the exchange scheduler registers into
+        #: so Engine.close() can shut worker threads down
+        self.scheduler_registry = scheduler_registry
 
     # ------------------------------------------------------------------
     # telemetry hooks (the single reporting path for all operators)

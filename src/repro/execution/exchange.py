@@ -46,11 +46,18 @@ from repro.types.intervals import SortKey
 def _effective_dop(plan, ctx) -> int:
     """The degree an exchange actually runs at: the session's current
     PARALLEL_DOP when known (so a shared cached plan adapts to each
-    session), else the degree the plan was compiled with."""
+    session), else the degree the plan was compiled with — then
+    clamped to the workload group's MAX_DOP when the resource governor
+    set one."""
     requested = getattr(ctx, "requested_dop", None)
     if requested is not None and requested > 1:
-        return requested
-    return plan.dop
+        dop = requested
+    else:
+        dop = plan.dop
+    cap = getattr(ctx, "max_dop", None)
+    if cap:
+        dop = max(1, min(dop, cap))
+    return dop
 
 
 def run_gather(plan, ctx) -> Iterator[tuple]:

@@ -95,13 +95,22 @@ class ExchangeScheduler:
     def __init__(self, ctx, dop: int, tasks: Sequence[BranchTask], label: str):
         self.ctx = ctx
         self.dop = int(dop)
+        # defensive second clamp: callers normally pass a pre-clamped
+        # degree, but the governor's MAX_DOP must hold regardless
+        cap = getattr(ctx, "max_dop", None)
+        if cap:
+            self.dop = max(1, min(self.dop, int(cap)))
+        registry = getattr(ctx, "scheduler_registry", None)
+        if registry is not None:
+            registry.add(self)
         self.tasks = list(tasks)
         self.label = label
         self.cancel = threading.Event()
         self.threads: List[threading.Thread] = []
         self._queues: List[queue.Queue] = []
         for task, slot in zip(
-            self.tasks, assign_slots([t.est_cost for t in self.tasks], dop)
+            self.tasks,
+            assign_slots([t.est_cost for t in self.tasks], self.dop),
         ):
             task.slot = slot
         trace = ctx.trace

@@ -1,0 +1,253 @@
+"""The Resource Governor: workload management over the DHQP engine.
+
+Four cooperating parts (see ``docs/GOVERNOR.md``):
+
+* :mod:`~repro.governor.pools` — :class:`ResourcePool`: memory-grant
+  capacity in KB plus a concurrency-slot gate, FIFO waits on the
+  engine's simulated clock;
+* :mod:`~repro.governor.classifier` — :class:`WorkloadGroup` (policy:
+  ``max_dop``, ``max_memory_grant_pct``, ``request_timeout_ms``, pool
+  binding) and the predicate-rule :class:`Classifier`;
+* :mod:`~repro.governor.grants` — per-plan ``required_memory_kb``
+  estimation from the cost model's operator memory estimates, and the
+  :class:`MemoryGrant` lease lifecycle;
+* :mod:`~repro.governor.admission` — the per-pool concurrency gate at
+  the top of ``engine.execute`` with deadline-based shedding.
+
+:class:`ResourceGovernor` is the engine-facing facade wiring them
+together; every :class:`~repro.engine.ServerInstance` owns one.  An
+untouched governor (default group on an unbounded default pool) is a
+near-zero-cost pass-through, so single-user engines behave exactly as
+before.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.errors import GovernorError, GrantTimeoutError
+from repro.governor.admission import AdmissionController, AdmissionTicket
+from repro.governor.classifier import (
+    Classifier,
+    DEFAULT_GROUP,
+    INTERNAL_GROUP,
+    WorkloadGroup,
+)
+from repro.governor.grants import MemoryGrant, estimate_plan_memory_kb
+from repro.governor.pools import DEFAULT_POOL, INTERNAL_POOL, ResourcePool
+
+__all__ = [
+    "ResourceGovernor",
+    "ResourcePool",
+    "WorkloadGroup",
+    "Classifier",
+    "MemoryGrant",
+    "AdmissionController",
+    "AdmissionTicket",
+    "estimate_plan_memory_kb",
+]
+
+
+class ResourceGovernor:
+    """Pools + groups + classifier + admission for one engine."""
+
+    def __init__(self, clock: Any, metrics: Any = None):
+        self.clock = clock
+        self.metrics = metrics
+        self._lock = threading.RLock()
+        self.pools: Dict[str, ResourcePool] = {
+            DEFAULT_POOL: ResourcePool(DEFAULT_POOL),
+            INTERNAL_POOL: ResourcePool(INTERNAL_POOL),
+        }
+        self.groups: Dict[str, WorkloadGroup] = {
+            DEFAULT_GROUP: WorkloadGroup(DEFAULT_GROUP, pool=DEFAULT_POOL),
+            INTERNAL_GROUP: WorkloadGroup(INTERNAL_GROUP, pool=INTERNAL_POOL),
+        }
+        self.classifier = Classifier()
+        self.admission = AdmissionController(clock, metrics=metrics)
+        self._active_grants: Dict[int, MemoryGrant] = {}
+
+    # -- configuration -----------------------------------------------------
+    def create_pool(
+        self,
+        name: str,
+        max_memory_kb: Optional[float] = None,
+        max_concurrency: Optional[int] = None,
+        max_queue_length: Optional[int] = None,
+    ) -> ResourcePool:
+        with self._lock:
+            key = name.lower()
+            if key in self.pools:
+                raise GovernorError(f"resource pool {name!r} already exists")
+            pool = ResourcePool(
+                key,
+                max_memory_kb=max_memory_kb,
+                max_concurrency=max_concurrency,
+                max_queue_length=max_queue_length,
+            )
+            self.pools[key] = pool
+            return pool
+
+    def create_group(
+        self,
+        name: str,
+        pool: str = DEFAULT_POOL,
+        max_dop: int = 0,
+        max_memory_grant_pct: float = 25.0,
+        request_timeout_ms: Optional[float] = None,
+    ) -> WorkloadGroup:
+        with self._lock:
+            key = name.lower()
+            if key in self.groups:
+                raise GovernorError(f"workload group {name!r} already exists")
+            if pool.lower() not in self.pools:
+                raise GovernorError(f"unknown resource pool {pool!r}")
+            group = WorkloadGroup(
+                key,
+                pool=pool.lower(),
+                max_dop=max_dop,
+                max_memory_grant_pct=max_memory_grant_pct,
+                request_timeout_ms=request_timeout_ms,
+            )
+            self.groups[key] = group
+            return group
+
+    def add_classifier_rule(
+        self, name: str, predicate: Any, group: str
+    ) -> None:
+        if group.lower() not in self.groups:
+            raise GovernorError(f"unknown workload group {group!r}")
+        self.classifier.add_rule(name, predicate, group)
+
+    # -- classification ----------------------------------------------------
+    def classify(self, session: Any) -> WorkloadGroup:
+        """The workload group a session's next statement runs under.
+        Unknown names (a group dropped after SET bound it) fall back to
+        ``default`` rather than failing the statement."""
+        name = self.classifier.classify(session)
+        group = self.groups.get(name)
+        if group is None:
+            group = self.groups[DEFAULT_GROUP]
+        return group
+
+    def pool_for(self, group: WorkloadGroup) -> ResourcePool:
+        pool = self.pools.get(group.pool)
+        if pool is None:
+            return self.pools[DEFAULT_POOL]
+        return pool
+
+    # -- admission ---------------------------------------------------------
+    def admit(self, group: WorkloadGroup, trace: Any = None) -> AdmissionTicket:
+        pool = self.pool_for(group)
+        ticket = self.admission.admit(group, pool, trace=trace)
+        if not ticket.nested:
+            with self._lock:
+                group.total_requests += 1
+                group.active_requests += 1
+            if self.metrics is not None:
+                self.metrics.increment("governor.admitted")
+        return ticket
+
+    def complete(self, group: WorkloadGroup, ticket: AdmissionTicket) -> None:
+        """Release a statement's admission slot and group accounting."""
+        nested = ticket.nested
+        ticket.release()
+        if not nested:
+            with self._lock:
+                group.active_requests = max(0, group.active_requests - 1)
+
+    def record_timeout(self, group: WorkloadGroup) -> None:
+        with self._lock:
+            group.total_timeouts += 1
+
+    # -- memory grants -----------------------------------------------------
+    def acquire_grant(
+        self,
+        plan: Any,
+        group: WorkloadGroup,
+        session: Any,
+        cost_model: Any,
+        trace: Any = None,
+        sql_text: Optional[str] = None,
+    ) -> Optional[MemoryGrant]:
+        """Estimate and lease the plan's memory from the group's pool.
+
+        Returns None for streaming-only plans (no memory operators —
+        no grant, exactly like the real server).  The request is capped
+        at the group's ``max_memory_grant_pct`` share of the pool (a
+        reduced grant), then waits FIFO behind earlier requests,
+        shedding with :class:`GrantTimeoutError` at the deadline."""
+        required_kb = estimate_plan_memory_kb(plan, cost_model)
+        if required_kb <= 0.0:
+            return None
+        pool = self.pool_for(group)
+        cap = group.grant_cap_kb(pool.max_memory_kb)
+        granted_kb = required_kb if cap is None else min(required_kb, cap)
+        wait_ms = 0.0
+        if not pool.try_acquire_memory(granted_kb):
+            span = None
+            if trace is not None:
+                span = trace.begin_span(
+                    "grant_wait", pool=pool.name, group=group.name,
+                    required_kb=round(granted_kb, 1),
+                )
+            try:
+                wait_ms = pool.acquire_memory(
+                    granted_kb, self.clock,
+                    timeout_ms=group.request_timeout_ms,
+                )
+            except TimeoutError as error:
+                pool.grant_timeouts += 1
+                self.record_timeout(group)
+                if self.metrics is not None:
+                    self.metrics.increment("governor.grant_timeouts")
+                if trace is not None:
+                    trace.event(
+                        "grant_shed", pool=pool.name, group=group.name,
+                        required_kb=round(granted_kb, 1),
+                        reason=str(error),
+                    )
+                raise GrantTimeoutError(
+                    f"memory grant of {granted_kb:.1f}KB timed out on "
+                    f"pool {pool.name!r} (group {group.name!r}): {error}",
+                    group=group.name, pool=pool.name,
+                    required_kb=granted_kb,
+                ) from None
+            finally:
+                if span is not None:
+                    trace.exit_span(span)
+        grant = MemoryGrant(
+            group_name=group.name,
+            pool=pool,
+            requested_kb=required_kb,
+            granted_kb=granted_kb,
+            wait_ms=wait_ms,
+            session_id=getattr(session, "session_id", None),
+            sql_text=sql_text,
+            acquired_at_ms=self.clock.now_ms,
+            on_release=self._unregister_grant,
+        )
+        with self._lock:
+            self._active_grants[grant.grant_id] = grant
+            group.total_grant_kb += granted_kb
+        if self.metrics is not None:
+            self.metrics.increment("governor.grants")
+            if wait_ms:
+                self.metrics.increment("governor.grant_waits")
+                self.metrics.observe("governor.grant_wait_ms", wait_ms)
+        if trace is not None and wait_ms:
+            trace.event(
+                "grant_acquired", pool=pool.name,
+                granted_kb=round(granted_kb, 1),
+                wait_ms=round(wait_ms, 3),
+            )
+        return grant
+
+    def _unregister_grant(self, grant: MemoryGrant) -> None:
+        with self._lock:
+            self._active_grants.pop(grant.grant_id, None)
+
+    def active_grants(self) -> List[MemoryGrant]:
+        with self._lock:
+            return list(self._active_grants.values())

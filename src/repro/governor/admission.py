@@ -1,0 +1,117 @@
+"""Admission control: the per-pool concurrency gate.
+
+Every statement entering ``engine.execute`` passes through its
+workload group's pool gate before anything is parsed.  Under load the
+gate turns overload into *policy*: a bounded FIFO wait on the
+simulated clock, then a typed :class:`~repro.errors
+.AdmissionTimeoutError` — fast rejection the client can retry —
+instead of an ever-growing queue.
+
+Admission is re-entrant per thread and pool: a statement that nests
+another ``execute`` on the same engine (and hence the same pool) must
+not deadlock against its own slot, so nested entries ride the outer
+ticket.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.errors import AdmissionTimeoutError
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+_held = threading.local()
+
+
+def _held_pools() -> set:
+    pools = getattr(_held, "pools", None)
+    if pools is None:
+        pools = set()
+        _held.pools = pools
+    return pools
+
+
+class AdmissionTicket:
+    """Proof of admission; releasing returns the slot exactly once."""
+
+    __slots__ = ("pool", "wait_ms", "nested", "_released")
+
+    def __init__(self, pool: Any, wait_ms: float, nested: bool = False):
+        self.pool = pool
+        self.wait_ms = wait_ms
+        #: nested tickets ride the outer statement's slot
+        self.nested = nested
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        if self.nested or self.pool is None:
+            return
+        _held_pools().discard(id(self.pool))
+        self.pool.release_slot()
+
+
+class AdmissionController:
+    """Gates statements on their group's pool concurrency slots."""
+
+    def __init__(self, clock: Any, metrics: Any = None):
+        self.clock = clock
+        self.metrics = metrics
+
+    def admit(
+        self,
+        group: Any,
+        pool: Any,
+        trace: Any = None,
+    ) -> AdmissionTicket:
+        """Acquire one concurrency slot from ``pool`` under ``group``'s
+        deadline.  Fast path: an uncontended (or unbounded) pool costs
+        one lock acquire.  Contended path: FIFO wait with an
+        ``admission_wait`` trace span, shedding at the deadline or when
+        the bounded queue is full."""
+        held = _held_pools()
+        if id(pool) in held:
+            return AdmissionTicket(pool, 0.0, nested=True)
+        if pool.try_acquire_slot():
+            held.add(id(pool))
+            return AdmissionTicket(pool, 0.0)
+        span = None
+        if trace is not None:
+            span = trace.begin_span(
+                "admission_wait", pool=pool.name, group=group.name
+            )
+        try:
+            wait_ms = pool.acquire_slot(
+                self.clock, timeout_ms=group.request_timeout_ms
+            )
+        except TimeoutError as error:
+            pool.admission_timeouts += 1
+            if self.metrics is not None:
+                self.metrics.increment("governor.admission_timeouts")
+            if trace is not None:
+                trace.event(
+                    "admission_shed", pool=pool.name, group=group.name,
+                    reason=str(error),
+                )
+            raise AdmissionTimeoutError(
+                f"statement shed by admission control on pool "
+                f"{pool.name!r} (group {group.name!r}): {error}",
+                group=group.name, pool=pool.name,
+            ) from None
+        finally:
+            if span is not None:
+                trace.exit_span(span)
+        held.add(id(pool))
+        if self.metrics is not None and wait_ms:
+            self.metrics.increment("governor.admission_waits")
+            self.metrics.observe("governor.admission_wait_ms", wait_ms)
+        if trace is not None and wait_ms:
+            trace.event(
+                "admission_granted", pool=pool.name,
+                wait_ms=round(wait_ms, 3),
+            )
+        return AdmissionTicket(pool, wait_ms)

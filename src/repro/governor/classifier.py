@@ -1,0 +1,96 @@
+"""Workload groups and session classification.
+
+A :class:`WorkloadGroup` is the Resource Governor's unit of *policy*:
+it binds sessions to a :class:`~repro.governor.pools.ResourcePool` and
+carries the limits applied to every statement that runs under it —
+``max_dop`` (exchange degree clamp), ``max_memory_grant_pct`` (one
+query's share of the pool) and ``request_timeout_ms`` (the admission /
+grant deadline on the simulated clock).
+
+Classification runs per statement: an explicit ``SET WORKLOAD GROUP
+'name'`` on the session always wins; otherwise registered predicate
+rules are evaluated in registration order (like the real server's
+classifier UDF); sessions nothing claims land in ``default``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["WorkloadGroup", "Classifier", "DEFAULT_GROUP", "INTERNAL_GROUP"]
+
+DEFAULT_GROUP = "default"
+INTERNAL_GROUP = "internal"
+
+
+class WorkloadGroup:
+    """One named policy bundle over a resource pool."""
+
+    def __init__(
+        self,
+        name: str,
+        pool: str = "default",
+        max_dop: int = 0,
+        max_memory_grant_pct: float = 25.0,
+        request_timeout_ms: Optional[float] = None,
+    ):
+        self.name = name
+        #: name of the bound resource pool
+        self.pool = pool
+        #: exchange-degree clamp; 0 means "no clamp"
+        self.max_dop = int(max_dop)
+        #: one statement's grant is capped at this share of the pool
+        self.max_memory_grant_pct = float(max_memory_grant_pct)
+        #: admission/grant deadline in simulated ms; None waits forever
+        self.request_timeout_ms = request_timeout_ms
+        # lifetime accounting (DMV surface); guarded by the governor
+        self.total_requests = 0
+        self.active_requests = 0
+        self.total_timeouts = 0
+        self.total_grant_kb = 0.0
+
+    def grant_cap_kb(self, pool_max_memory_kb: Optional[float]) -> Optional[float]:
+        """The largest grant one statement in this group may hold —
+        ``max_memory_grant_pct`` of the pool.  Clamping the *request*
+        to this cap (a reduced grant, like the real server's) means a
+        single statement can always eventually run on an empty pool."""
+        if pool_max_memory_kb is None:
+            return None
+        return pool_max_memory_kb * self.max_memory_grant_pct / 100.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WorkloadGroup({self.name!r}, pool={self.pool!r}, "
+            f"max_dop={self.max_dop}, "
+            f"grant_pct={self.max_memory_grant_pct})"
+        )
+
+
+class Classifier:
+    """Ordered predicate rules mapping sessions to group names."""
+
+    def __init__(self) -> None:
+        self._rules: List[Tuple[str, Callable[[Any], bool], str]] = []
+
+    def add_rule(
+        self, name: str, predicate: Callable[[Any], bool], group: str
+    ) -> None:
+        """Register ``predicate(session) -> bool`` routing matching
+        sessions to ``group``.  First match wins, in registration
+        order."""
+        self._rules.append((name, predicate, group.lower()))
+
+    def rules(self) -> List[Tuple[str, Callable[[Any], bool], str]]:
+        return list(self._rules)
+
+    def classify(self, session: Any) -> str:
+        """The group *name* for a session: the session's explicit
+        ``SET WORKLOAD GROUP`` binding, else the first matching rule,
+        else ``default``."""
+        explicit = getattr(session, "workload_group", None)
+        if explicit:
+            return explicit
+        for __, predicate, group in self._rules:
+            if predicate(session):
+                return group
+        return DEFAULT_GROUP

@@ -1,0 +1,214 @@
+"""Resource pools: memory-grant capacity plus concurrency slots.
+
+A :class:`ResourcePool` is the Resource Governor's unit of physical
+capacity — a memory budget in KB that outstanding grants draw down and
+a slot count that bounds concurrent statements.  Workload groups bind
+to pools; many groups may share one pool (the real server's model).
+
+Waiting is FIFO on the engine's :class:`~repro.resilience.health
+.SimulatedClock`.  Waiters block on a condition variable so releases
+wake them promptly under real thread concurrency; when a poll interval
+passes with nothing released, the waiter bills one simulated *wait
+quantum* to the shared clock, so deadlines measured in simulated ms
+always make progress even when the engine is otherwise idle (a waiter
+can never hang forever behind a capacity its own deadline should have
+shed).  Wait time charged to a request is the simulated-clock delta
+between enqueue and acquire.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+__all__ = ["ResourcePool", "DEFAULT_POOL", "INTERNAL_POOL"]
+
+#: names of the built-in pools every governor starts with
+DEFAULT_POOL = "default"
+INTERNAL_POOL = "internal"
+
+#: real seconds between deadline checks while blocked on the condvar
+POLL_S = 0.002
+#: simulated ms billed per idle poll so deadlines progress without help
+WAIT_QUANTUM_MS = 25.0
+
+
+class ResourcePool:
+    """Memory-grant capacity (KB) + concurrency slots for one pool.
+
+    ``max_memory_kb`` / ``max_concurrency`` of ``None`` mean unbounded
+    (the built-in ``default`` pool ships unbounded so an ungoverned
+    engine behaves exactly as before).  Both resources share one lock
+    and FIFO queues; head-of-line blocking is deliberate — it is what
+    makes wait time proportional to queue depth and shedding fair.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        max_memory_kb: Optional[float] = None,
+        max_concurrency: Optional[int] = None,
+        max_queue_length: Optional[int] = None,
+    ):
+        self.name = name
+        self.max_memory_kb = max_memory_kb
+        self.max_concurrency = max_concurrency
+        #: bound on *admission* waiters; a full queue sheds immediately
+        self.max_queue_length = max_queue_length
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: outstanding grant KB / statements currently holding a slot
+        self.used_memory_kb = 0.0
+        self.active_requests = 0
+        self._mem_queue: deque = deque()
+        self._slot_queue: deque = deque()
+        # lifetime accounting (DMV surface)
+        self.total_admissions = 0
+        self.total_admission_wait_ms = 0.0
+        self.admission_timeouts = 0
+        self.total_grants = 0
+        self.total_grant_wait_ms = 0.0
+        self.grant_timeouts = 0
+        self.peak_memory_kb = 0.0
+        self.peak_concurrency = 0
+
+    # -- concurrency slots -------------------------------------------------
+    def try_acquire_slot(self) -> bool:
+        """Non-blocking slot acquire; the engine's fast path."""
+        with self._lock:
+            if self._slot_queue or not self._slot_free():
+                return False
+            self._take_slot()
+            return True
+
+    def acquire_slot(
+        self, clock, timeout_ms: Optional[float] = None
+    ) -> float:
+        """Blocking FIFO slot acquire; returns simulated wait ms.
+
+        Raises ``TimeoutError`` (caught and retyped by the admission
+        controller) when the queue is full or the deadline passes.
+        """
+        with self._lock:
+            if (
+                self.max_queue_length is not None
+                and len(self._slot_queue) >= self.max_queue_length
+            ):
+                raise TimeoutError("admission queue full")
+            waited = self._wait(
+                self._slot_queue, self._slot_free, self._take_slot,
+                clock, timeout_ms,
+            )
+            self.total_admission_wait_ms += waited
+            return waited
+
+    def release_slot(self) -> None:
+        with self._cond:
+            self.active_requests = max(0, self.active_requests - 1)
+            self._cond.notify_all()
+
+    def _slot_free(self) -> bool:
+        return (
+            self.max_concurrency is None
+            or self.active_requests < self.max_concurrency
+        )
+
+    def _take_slot(self) -> None:
+        self.active_requests += 1
+        self.total_admissions += 1
+        if self.active_requests > self.peak_concurrency:
+            self.peak_concurrency = self.active_requests
+
+    # -- memory grants -----------------------------------------------------
+    def try_acquire_memory(self, kb: float) -> bool:
+        with self._lock:
+            if self._mem_queue or not self._memory_free(kb):
+                return False
+            self._take_memory(kb)
+            return True
+
+    def acquire_memory(
+        self, kb: float, clock, timeout_ms: Optional[float] = None
+    ) -> float:
+        """Blocking FIFO memory acquire; returns simulated wait ms."""
+        with self._lock:
+            waited = self._wait(
+                self._mem_queue,
+                lambda: self._memory_free(kb),
+                lambda: self._take_memory(kb),
+                clock, timeout_ms,
+            )
+            self.total_grant_wait_ms += waited
+            return waited
+
+    def release_memory(self, kb: float) -> None:
+        with self._cond:
+            self.used_memory_kb = max(0.0, self.used_memory_kb - kb)
+            self._cond.notify_all()
+
+    def _memory_free(self, kb: float) -> bool:
+        return (
+            self.max_memory_kb is None
+            or self.used_memory_kb + kb <= self.max_memory_kb
+        )
+
+    def _take_memory(self, kb: float) -> None:
+        self.used_memory_kb += kb
+        self.total_grants += 1
+        if self.used_memory_kb > self.peak_memory_kb:
+            self.peak_memory_kb = self.used_memory_kb
+
+    # -- shared FIFO wait loop ---------------------------------------------
+    def _wait(
+        self,
+        queue: deque,
+        can_take: Callable[[], bool],
+        take: Callable[[], None],
+        clock,
+        timeout_ms: Optional[float],
+    ) -> float:
+        """FIFO wait under ``self._lock``; returns simulated wait ms or
+        raises ``TimeoutError`` at the deadline.  Only the queue head
+        may take (strict FIFO); every release notifies the condvar."""
+        if not queue and can_take():
+            take()
+            return 0.0
+        token = object()
+        queue.append(token)
+        enqueued_ms = clock.now_ms
+        try:
+            while True:
+                if queue[0] is token and can_take():
+                    queue.popleft()
+                    take()
+                    self._cond.notify_all()
+                    return clock.now_ms - enqueued_ms
+                waited = clock.now_ms - enqueued_ms
+                if timeout_ms is not None and waited >= timeout_ms:
+                    queue.remove(token)
+                    self._cond.notify_all()
+                    raise TimeoutError(
+                        f"waited {waited:.0f}ms (deadline {timeout_ms:.0f}ms)"
+                    )
+                if not self._cond.wait(timeout=POLL_S):
+                    # nothing released this interval: bill simulated
+                    # wait time so deadlines progress deterministically
+                    clock.advance(WAIT_QUANTUM_MS)
+        except BaseException:
+            if token in queue:
+                queue.remove(token)
+                self._cond.notify_all()
+            raise
+
+    # -- introspection -----------------------------------------------------
+    def queued_requests(self) -> int:
+        with self._lock:
+            return len(self._slot_queue) + len(self._mem_queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResourcePool({self.name!r}, mem={self.used_memory_kb:.0f}/"
+            f"{self.max_memory_kb}, active={self.active_requests}/"
+            f"{self.max_concurrency})"
+        )

@@ -411,8 +411,118 @@ def _dm_exec_sessions(engine: Any) -> tuple[Columns, list[tuple]]:
     return columns, rows
 
 
+def _dm_resource_governor_resource_pools(
+    engine: Any,
+) -> tuple[Columns, list[tuple]]:
+    """One row per resource pool with capacity, live usage and
+    lifetime admission/grant accounting."""
+    columns: Columns = [
+        ("pool_name", varchar(128)),
+        ("max_memory_kb", FLOAT),
+        ("used_memory_kb", FLOAT),
+        ("peak_memory_kb", FLOAT),
+        ("max_concurrency", INT),
+        ("active_requests", INT),
+        ("peak_concurrency", INT),
+        ("queued_requests", INT),
+        ("total_admissions", BIGINT),
+        ("total_admission_wait_ms", FLOAT),
+        ("admission_timeouts", BIGINT),
+        ("total_grants", BIGINT),
+        ("total_grant_wait_ms", FLOAT),
+        ("grant_timeouts", BIGINT),
+    ]
+    rows = [
+        (
+            pool.name,
+            pool.max_memory_kb,
+            pool.used_memory_kb,
+            pool.peak_memory_kb,
+            pool.max_concurrency,
+            pool.active_requests,
+            pool.peak_concurrency,
+            pool.queued_requests(),
+            pool.total_admissions,
+            pool.total_admission_wait_ms,
+            pool.admission_timeouts,
+            pool.total_grants,
+            pool.total_grant_wait_ms,
+            pool.grant_timeouts,
+        )
+        for pool in engine.governor.pools.values()
+    ]
+    return columns, rows
+
+
+def _dm_resource_governor_workload_groups(
+    engine: Any,
+) -> tuple[Columns, list[tuple]]:
+    """One row per workload group with its policy and request totals."""
+    columns: Columns = [
+        ("group_name", varchar(128)),
+        ("pool_name", varchar(128)),
+        ("max_dop", INT),
+        ("max_memory_grant_pct", FLOAT),
+        ("request_timeout_ms", FLOAT),
+        ("total_requests", BIGINT),
+        ("active_requests", INT),
+        ("total_timeouts", BIGINT),
+        ("total_grant_kb", FLOAT),
+    ]
+    rows = [
+        (
+            group.name,
+            group.pool,
+            group.max_dop,
+            group.max_memory_grant_pct,
+            group.request_timeout_ms,
+            group.total_requests,
+            group.active_requests,
+            group.total_timeouts,
+            group.total_grant_kb,
+        )
+        for group in engine.governor.groups.values()
+    ]
+    return columns, rows
+
+
+def _dm_exec_query_memory_grants(engine: Any) -> tuple[Columns, list[tuple]]:
+    """One row per *outstanding* memory grant — a statement currently
+    holding leased workspace memory.  Empty at quiesce; anything left
+    here after all statements finished is a leak."""
+    columns: Columns = [
+        ("grant_id", INT),
+        ("session_id", INT),
+        ("group_name", varchar(128)),
+        ("pool_name", varchar(128)),
+        ("requested_memory_kb", FLOAT),
+        ("granted_memory_kb", FLOAT),
+        ("grant_wait_ms", FLOAT),
+        ("acquired_at_ms", FLOAT),
+        ("query_text", varchar()),
+    ]
+    rows = [
+        (
+            grant.grant_id,
+            grant.session_id,
+            grant.group_name,
+            grant.pool.name,
+            grant.requested_kb,
+            grant.granted_kb,
+            grant.wait_ms,
+            grant.acquired_at_ms,
+            grant.sql_text,
+        )
+        for grant in engine.governor.active_grants()
+    ]
+    return columns, rows
+
+
 _VIEWS = {
     "dm_exec_cached_plans": _dm_exec_cached_plans,
+    "dm_exec_query_memory_grants": _dm_exec_query_memory_grants,
+    "dm_resource_governor_resource_pools": _dm_resource_governor_resource_pools,
+    "dm_resource_governor_workload_groups": _dm_resource_governor_workload_groups,
     "dm_exec_connections": _dm_exec_connections,
     "dm_exec_sessions": _dm_exec_sessions,
     "dm_exec_query_stats": _dm_exec_query_stats,

@@ -45,6 +45,9 @@ class Session:
         self.collation = DEFAULT_COLLATION
         #: active local transaction attached to DML when none is passed
         self.txn: Optional[Any] = None
+        #: explicit workload-group binding (SET WORKLOAD GROUP 'name');
+        #: None lets the governor's classifier rules decide
+        self.workload_group: Optional[str] = None
         #: statements executed through this session (DMV surface)
         self.statement_count = 0
 

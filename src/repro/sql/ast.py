@@ -370,15 +370,17 @@ class DropTableStmt(Statement):
 
 
 class SetStmt(Statement):
-    """``SET <option> ON|OFF`` or ``SET <option> <integer>`` — a
-    session setting.
+    """``SET <option> ON|OFF``, ``SET <option> <integer>`` or
+    ``SET <option> '<string>'`` — a session setting.
 
     The engine interprets the option name; the parser only validates
-    the shape.  Recognized options are ``PARTIAL_RESULTS`` (boolean)
-    and ``PARALLEL_DOP`` (integer degree of parallelism).
+    the shape.  Recognized options are ``PARTIAL_RESULTS`` (boolean),
+    ``PARALLEL_DOP`` (integer degree of parallelism) and ``WORKLOAD
+    GROUP`` (string workload-group name, stored as
+    ``workload_group``).
     """
 
-    def __init__(self, option: str, value: "bool | int"):
+    def __init__(self, option: str, value: "bool | int | str"):
         self.option = option.lower()
         self.value = value
 

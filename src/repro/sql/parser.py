@@ -132,13 +132,20 @@ class _Parser:
         )
 
     def set_statement(self) -> ast.SetStmt:
-        """``SET <option> ON|OFF`` or ``SET <option> <integer>`` —
-        ``on`` is a reserved word (join syntax), ``off`` lexes as a
-        plain identifier.  Integer-valued options (``PARALLEL_DOP n``)
-        take a bare numeric literal."""
+        """``SET <option> ON|OFF``, ``SET <option> <integer>`` or
+        ``SET <option> '<string>'`` — ``on`` is a reserved word (join
+        syntax), ``off`` lexes as a plain identifier.  Integer-valued
+        options (``PARALLEL_DOP n``) take a bare numeric literal;
+        string-valued options (``WORKLOAD GROUP 'name'``) take a
+        quoted literal.  The two-word ``WORKLOAD GROUP`` option folds
+        to the single name ``workload_group``."""
         self.expect_keyword("set")
         option = self.expect_identifier()
-        value: bool | int
+        if option.lower() == "workload" and (
+            self._accept_name("group") or self.accept_keyword("group")
+        ):
+            option = "workload_group"
+        value: bool | int | str
         if self.accept_keyword("on"):
             value = True
         elif self._accept_name("off"):
@@ -152,10 +159,13 @@ class _Parser:
                     f"SET {option} expects an integer, got {token.value!r}",
                     token.position,
                 )
+        elif self.peek().kind == "string":
+            value = self.next().value
         else:
             token = self.peek()
             raise ParseError(
-                f"expected ON, OFF or an integer, got {token.value!r}",
+                f"expected ON, OFF, an integer or a string literal, "
+                f"got {token.value!r}",
                 token.position,
             )
         return ast.SetStmt(option, value)

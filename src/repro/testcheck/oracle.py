@@ -23,6 +23,10 @@ row-for-row (as a collation-aware multiset):
                *twice* through the same engine — a cold compile, then
                a warm plan-cache hit — and both answers must match
                the reference (a cached plan is not a different plan)
+``governed``   same topology, every statement under a constrained
+               workload group (small memory pool, MAX_DOP 1, reduced
+               grants) — the resource governor may delay or clamp a
+               query, never change its answer
 =============  ========================================================
 
 The paper's claim under test: DHQP's remote rules participate in
@@ -67,7 +71,7 @@ from repro.types.intervals import SortKey
 #: configuration names, in the order they run
 CONFIGS = (
     "local", "distributed", "ablated", "faulted", "traced", "parallel",
-    "cached",
+    "cached", "governed",
 )
 
 
@@ -197,6 +201,23 @@ def build_world(
         # the DOP-invariance oracle: exchanges above remote branches,
         # answers must still match the serial reference row-for-row
         local.execute("SET PARALLEL_DOP 4")
+    if config == "governed":
+        # the resource-governor oracle: a constrained group (finite
+        # pool, reduced grants, MAX_DOP 1) may delay or clamp every
+        # statement but must never change its answer.  The timeout is
+        # generous — single-session sequential execution never queues,
+        # so nothing can shed.
+        local.governor.create_pool(
+            "oracle_pool", max_memory_kb=4096.0, max_concurrency=1
+        )
+        local.governor.create_group(
+            "constrained",
+            pool="oracle_pool",
+            max_dop=1,
+            max_memory_grant_pct=50.0,
+            request_timeout_ms=10_000.0,
+        )
+        local.execute("SET WORKLOAD GROUP 'constrained'")
 
     name_map = {}
     for table in schema.tables.values():

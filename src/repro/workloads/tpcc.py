@@ -13,6 +13,7 @@ single member.
 from __future__ import annotations
 
 import random
+import threading
 
 from repro.engine import ServerInstance
 from repro.network.channel import NetworkChannel
@@ -33,6 +34,8 @@ class TpccFederation:
         self.warehouses_per_member = warehouses_per_member
         self.customers_per_warehouse = customers_per_warehouse
         self._next_order_key = 1
+        #: concurrent sessions draw order keys from one sequence
+        self._order_key_lock = threading.Lock()
 
     @property
     def warehouse_count(self) -> int:
@@ -112,12 +115,16 @@ def new_order(
     warehouse_id: int,
     customer_id: int,
     amount: float,
+    session=None,
 ) -> int:
     """One new-order transaction: read the customer through the
     partitioned view (startup filters route to one member), then insert
-    the order through the view (DTC-coordinated)."""
+    the order through the view (DTC-coordinated).  ``session`` runs
+    both statements under a specific coordinator session (its workload
+    group, DOP and settings apply); None uses the default session."""
     coordinator = federation.coordinator
-    result = coordinator.execute(
+    run = session.execute if session is not None else coordinator.execute
+    result = run(
         "SELECT c_name, c_balance FROM customer "
         "WHERE c_w_id = @w AND c_id = @c",
         params={"w": warehouse_id, "c": customer_id},
@@ -126,9 +133,10 @@ def new_order(
         raise LookupError(
             f"customer ({warehouse_id}, {customer_id}) not found"
         )
-    order_key = federation._next_order_key
-    federation._next_order_key += 1
-    coordinator.execute(
+    with federation._order_key_lock:
+        order_key = federation._next_order_key
+        federation._next_order_key += 1
+    run(
         f"INSERT INTO orders VALUES ({warehouse_id}, {order_key}, "
         f"{customer_id}, {amount})"
     )
@@ -136,7 +144,7 @@ def new_order(
 
 
 def run_new_orders(
-    federation: TpccFederation, count: int, seed: int = 13
+    federation: TpccFederation, count: int, seed: int = 13, session=None
 ) -> int:
     """Drive ``count`` uniformly distributed new-order transactions;
     returns the number committed."""
@@ -146,6 +154,6 @@ def run_new_orders(
         warehouse_id = rng.randint(1, federation.warehouse_count)
         customer_id = rng.randint(1, federation.customers_per_warehouse)
         new_order(federation, warehouse_id, customer_id,
-                  round(rng.uniform(10, 500), 2))
+                  round(rng.uniform(10, 500), 2), session=session)
         committed += 1
     return committed

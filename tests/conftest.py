@@ -4,6 +4,10 @@ The actual world construction lives in
 :mod:`repro.testcheck.worlds` so tests, benchmarks, the golden-plan
 corpus, and the differential harness all build identical setups; the
 fixtures here are thin wrappers.
+
+Every engine fixture yields and then calls ``Engine.close()`` so
+exchange worker threads, cached plans and governor state are torn down
+deterministically between tests.
 """
 
 from __future__ import annotations
@@ -19,25 +23,33 @@ from repro.testcheck.worlds import (
 
 
 @pytest.fixture
-def engine() -> Engine:
+def engine():
     """An empty local engine."""
-    return Engine("local")
+    with Engine("local") as instance:
+        yield instance
 
 
 @pytest.fixture
-def people_engine() -> Engine:
+def people_engine():
     """A local engine with a small, known people/cities dataset."""
-    return build_people_engine()
+    with build_people_engine() as instance:
+        yield instance
 
 
 @pytest.fixture
 def remote_pair():
     """(local engine, remote ServerInstance, channel): remote holds an
     items table, local holds a categories table."""
-    return build_remote_pair()
+    local, remote, channel = build_remote_pair()
+    try:
+        yield local, remote, channel
+    finally:
+        local.close()
+        remote.close()
 
 
 @pytest.fixture
 def partitioned_engine():
     """Local engine with a 3-member local partitioned view on years."""
-    return build_partitioned_engine()
+    with build_partitioned_engine() as instance:
+        yield instance

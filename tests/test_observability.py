@@ -311,9 +311,12 @@ class TestSystemViews:
         assert system_view_names() == (
             "dm_exec_cached_plans",
             "dm_exec_connections",
+            "dm_exec_query_memory_grants",
             "dm_exec_query_stats",
             "dm_exec_sessions",
             "dm_os_performance_counters",
+            "dm_resource_governor_resource_pools",
+            "dm_resource_governor_workload_groups",
             "dm_server_health",
             "dm_tran_active_transactions",
             "query_store_plan",

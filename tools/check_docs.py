@@ -20,7 +20,11 @@ Fails (exit 1) when:
   ``docs/ARCHITECTURE.md`` is missing, or ``docs/ARCHITECTURE.md``
   does not cover the module map, the life of a query, the parallel
   execution / threading model, and the session / shared-plan-cache
-  lifecycle.
+  lifecycle, or
+* ``README.md`` lacks a "Resource Governor" section, or its link to
+  ``docs/GOVERNOR.md`` is missing, or ``docs/GOVERNOR.md`` does not
+  document pools, workload groups, the grant lifecycle, the shedding
+  error taxonomy, and the governor DMVs.
 
 External links (http/https/mailto) and intra-page anchors are not
 checked — only the repo-relative ones we can verify offline.
@@ -77,6 +81,10 @@ def check_readme() -> list[str]:
         problems.append("README.md: missing an 'Architecture' section")
     if "docs/ARCHITECTURE.md" not in readme:
         problems.append("README.md: missing link to docs/ARCHITECTURE.md")
+    if not re.search(r"^#+\s+Resource Governor\b", readme, re.MULTILINE):
+        problems.append("README.md: missing a 'Resource Governor' section")
+    if "docs/GOVERNOR.md" not in readme:
+        problems.append("README.md: missing link to docs/GOVERNOR.md")
     return problems
 
 
@@ -88,7 +96,8 @@ def check_testing_doc() -> list[str]:
     problems = []
     # the oracle matrix: every configuration must be documented
     for config in ("`local`", "`distributed`", "`ablated`", "`faulted`",
-                   "`traced`", "`parallel`", "`cached`", "`atomic`"):
+                   "`traced`", "`parallel`", "`cached`", "`governed`",
+                   "`atomic`"):
         if config not in text:
             problems.append(
                 f"docs/TESTING.md: oracle matrix missing {config}"
@@ -187,6 +196,36 @@ def check_architecture_doc() -> list[str]:
     return problems
 
 
+def check_governor_doc() -> list[str]:
+    path = ROOT / "docs" / "GOVERNOR.md"
+    if not path.exists():
+        return ["docs/GOVERNOR.md: missing"]
+    text = path.read_text(encoding="utf-8")
+    problems = []
+    # the governed-execution contract: the object model, the statement
+    # envelope, the shedding taxonomy, and the DMV surface must stay
+    # documented
+    for needle in (
+        "ResourcePool",
+        "WorkloadGroup",
+        "SET WORKLOAD GROUP",
+        "max_memory_grant_pct",
+        "request_timeout_ms",
+        "AdmissionTimeoutError",
+        "GrantTimeoutError",
+        "sys.dm_resource_governor_resource_pools",
+        "sys.dm_resource_governor_workload_groups",
+        "sys.dm_exec_query_memory_grants",
+        "governor.admitted",
+        "engine.close()",
+        "`governed`",
+        "benchmarks/bench_governor.py",
+    ):
+        if needle not in text:
+            problems.append(f"docs/GOVERNOR.md: missing '{needle}'")
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     for path in markdown_files():
@@ -196,6 +235,7 @@ def main() -> int:
     problems += check_fault_model_doc()
     problems += check_observability_doc()
     problems += check_architecture_doc()
+    problems += check_governor_doc()
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:
